@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every module in this directory regenerates one of the paper's tables or
+figures (see DESIGN.md's per-experiment index).  Each benchmark prints the
+rows/series it reproduces so that ``pytest benchmarks/ --benchmark-only -s``
+doubles as a report generator, and asserts the qualitative shape that the
+paper reports (who wins, by roughly what factor, where curves flatten).
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, rows, header=None) -> None:
+    """Print a small aligned table under a title banner."""
+    print(f"\n=== {title} ===")
+    if header:
+        print("  " + " | ".join(f"{h:>14s}" for h in header))
+    for row in rows:
+        print("  " + " | ".join(
+            f"{v:>14.3f}" if isinstance(v, float) else f"{str(v):>14s}"
+            for v in row))

@@ -1,0 +1,61 @@
+"""Figures 15 and 16 (Appendix I): secondary benchmarks — ResNet-18,
+MobileNetV3-Large, Transformer and BERT-Medium — on V100 and TPU v3.
+
+Paper: on V100 HFTA reaches 2.42x-3.94x the serial throughput (1.25x-2.24x
+over MPS); on TPU v3 it reaches 2.98x-6.43x over serial.
+"""
+
+import pytest
+
+from repro import hwsim
+from .conftest import print_table
+
+SECONDARY = ("resnet18", "mobilenet_v3_large", "transformer_lm", "bert_medium")
+
+
+def test_fig15_secondary_benchmarks_v100(benchmark):
+    device = hwsim.V100
+
+    def compute():
+        out = {}
+        for name in SECONDARY:
+            workload = hwsim.get_workload(name)
+            out[name] = {
+                mode: hwsim.peak_throughput(workload, device, mode, "amp")[0]
+                for mode in ("serial", "concurrent", "mps", "hfta")}
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [(name, vals["hfta"] / vals["serial"],
+             vals["hfta"] / vals["concurrent"], vals["hfta"] / vals["mps"])
+            for name, vals in results.items()]
+    print_table("Figure 15: V100 secondary benchmarks (HFTA peak speedups)",
+                rows, header=("workload", "vs serial", "vs concurrent",
+                              "vs mps"))
+
+    for name, vals in results.items():
+        assert vals["hfta"] > vals["serial"]
+        assert vals["hfta"] > vals["mps"]
+        assert vals["hfta"] / vals["serial"] > 1.5
+
+
+def test_fig16_secondary_benchmarks_tpu(benchmark):
+    device = hwsim.TPU_V3
+
+    def compute():
+        out = {}
+        for name in SECONDARY:
+            workload = hwsim.get_workload(name)
+            serial = hwsim.simulate(workload, device, "serial", 1, "amp")
+            peak, at = hwsim.peak_throughput(workload, device, "hfta", "amp")
+            out[name] = (serial.throughput, peak, at)
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [(name, peak / serial, at)
+            for name, (serial, peak, at) in results.items()]
+    print_table("Figure 16: TPU v3 secondary benchmarks (HFTA vs serial)",
+                rows, header=("workload", "speedup", "at B"))
+
+    for name, (serial, peak, _) in results.items():
+        assert peak / serial > 1.8, name

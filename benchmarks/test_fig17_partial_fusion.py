@@ -1,0 +1,57 @@
+"""Figure 17 (Appendix I): partial-fusion sensitivity.
+
+Paper: with 30 ResNet-18 models sharing a V100, throughput falls as the
+horizontal fusion of each block is incrementally turned off — every bit of
+fusion helps, and different blocks contribute differently.
+
+The hardware model evaluates this by splitting the per-iteration kernels of
+ResNet-18 into its 10 fusible blocks: fused blocks execute as single
+``B``-times-larger kernels, unfused blocks as ``B`` per-model kernels.
+"""
+
+import pytest
+
+from repro import hwsim
+from repro.models import RESNET18_BLOCK_NAMES
+from .conftest import print_table
+
+NUM_MODELS = 30
+
+
+def _partial_fusion_time(workload, device, fused_blocks, precision="amp"):
+    """Iteration time with only ``fused_blocks`` horizontally fused."""
+    return hwsim.partial_fusion_iteration_time(
+        workload, device, fused_blocks, hwsim.RESNET18_BLOCK_PREFIXES,
+        NUM_MODELS, precision)
+
+
+def test_fig17_partial_fusion_throughput(benchmark):
+    device = hwsim.V100
+    workload = hwsim.get_workload("resnet18")
+
+    def compute():
+        times = {}
+        # Turn fusion off one block at a time, in reverse execution order
+        # (the paper's x-axis walks from fully fused to fully unfused).
+        order = list(RESNET18_BLOCK_NAMES)
+        for k in range(len(order) + 1):
+            fused_blocks = set(order[:len(order) - k])
+            times[len(fused_blocks)] = _partial_fusion_time(
+                workload, device, fused_blocks)
+        return times
+
+    times = benchmark.pedantic(compute, rounds=1, iterations=1)
+    full = times[len(RESNET18_BLOCK_NAMES)]
+    rows = [(n_fused, t, full / t) for n_fused, t in sorted(times.items(),
+                                                            reverse=True)]
+    print_table("Figure 17: 30 ResNet-18 models on V100, partial fusion",
+                rows, header=("# fused blocks", "iter time (s)",
+                              "normalized throughput"))
+
+    throughputs = [full / times[n]
+                   for n in sorted(times, reverse=True)]
+    # Shape: more fusion is never worse, fully fused is the fastest, fully
+    # unfused is substantially slower.
+    assert all(a >= b - 1e-9 for a, b in zip(throughputs, throughputs[1:]))
+    assert throughputs[0] == pytest.approx(1.0)
+    assert throughputs[-1] < 0.7

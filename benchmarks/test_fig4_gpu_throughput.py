@@ -1,0 +1,56 @@
+"""Figure 4 (a-i): normalized training throughput vs number of models sharing
+one GPU, for PointNet classification / segmentation / DCGAN on V100, RTX6000
+and A100 under serial / concurrent / MPS / MIG / HFTA (FP32 and AMP).
+
+Paper shape: every HFTA curve rises with the number of fused models and ends
+far above every baseline's curve; concurrent/MPS plateau early (or degrade,
+DCGAN); MIG is capped at 7 instances.
+"""
+
+import pytest
+
+from repro import hwsim
+from .conftest import print_table
+
+CASES = [(dev, wl) for dev in ("V100", "RTX6000", "A100")
+         for wl in ("pointnet_cls", "pointnet_seg", "dcgan")]
+
+
+@pytest.mark.parametrize("device_name,workload_name", CASES,
+                         ids=[f"{d}-{w}" for d, w in CASES])
+def test_fig4_throughput_curves(benchmark, device_name, workload_name):
+    device = hwsim.get_device(device_name)
+    workload = hwsim.get_workload(workload_name)
+    reference = hwsim.serial_reference(workload, device, "fp32")
+
+    def sweep_all():
+        curves = {}
+        for mode in hwsim.baseline_modes(device) + ["hfta"]:
+            for precision in ("fp32", "amp"):
+                curves[(mode, precision)] = hwsim.normalized_curve(
+                    workload, device, mode, precision, reference)
+        return curves
+
+    curves = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+
+    rows = []
+    for (mode, precision), points in sorted(curves.items()):
+        if not points:
+            continue
+        peak_b, peak = max(points, key=lambda p: p[1])
+        rows.append((f"{mode}/{precision}", len(points), peak_b, peak))
+    print_table(f"Figure 4: {workload_name} on {device_name} "
+                f"(normalized throughput, peak per curve)", rows,
+                header=("mode/precision", "max models", "peak at B", "peak"))
+
+    hfta_peak = max(max(v for _, v in curves[("hfta", p)])
+                    for p in ("fp32", "amp"))
+    for mode in hwsim.baseline_modes(device):
+        base_peak = max(max((v for _, v in curves[(mode, p)]), default=0.0)
+                        for p in ("fp32", "amp"))
+        assert hfta_peak > base_peak, (mode, hfta_peak, base_peak)
+
+    # HFTA curves are (near-)monotone in the number of fused models.
+    for precision in ("fp32", "amp"):
+        values = [v for _, v in curves[("hfta", precision)]]
+        assert all(b >= a * 0.98 for a, b in zip(values, values[1:]))

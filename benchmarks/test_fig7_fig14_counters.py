@@ -1,0 +1,51 @@
+"""Figures 7 and 14: DCGM hardware counters (sm_active, sm_occupancy,
+tensor_active) for PointNet classification as models share one A100 / V100.
+
+Paper shape: HFTA's counters keep climbing with the number of fused models;
+MPS and MIG plateau at a lower level; concurrent stays at the serial level.
+"""
+
+import pytest
+
+from repro import hwsim
+from .conftest import print_table
+
+
+@pytest.mark.parametrize("device_name", ["A100", "V100"],
+                         ids=["fig7-A100", "fig14-V100"])
+def test_fig7_fig14_hardware_counters(benchmark, device_name):
+    device = hwsim.get_device(device_name)
+    workload = hwsim.get_workload("pointnet_cls")
+
+    def compute():
+        out = {}
+        for mode in hwsim.baseline_modes(device) + ["hfta"]:
+            out[mode] = hwsim.throughput_sweep(workload, device, mode, "amp")
+        return out
+
+    sweeps = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for mode, sweep in sweeps.items():
+        last = sweep[-1]
+        rows.append((mode, last.num_jobs, last.sm_active, last.sm_occupancy,
+                     last.tensor_active))
+    print_table(f"Figures 7/14: counters at the per-mode maximum model count "
+                f"({device_name})", rows,
+                header=("mode", "models", "sm_active", "sm_occupancy",
+                        "tensor_active"))
+
+    serial = sweeps["serial"][0]
+    hfta_curve = sweeps["hfta"]
+    # HFTA's SM and TC utilization scale up with the number of fused models.
+    actives = [r.sm_active for r in hfta_curve]
+    assert all(b >= a - 1e-9 for a, b in zip(actives, actives[1:]))
+    assert hfta_curve[-1].sm_active > 2.0 * serial.sm_active
+    assert hfta_curve[-1].tensor_active > serial.tensor_active
+    # Concurrent cannot overlap kernels: counters stay at the serial level.
+    conc = sweeps["concurrent"][-1]
+    assert conc.sm_active == pytest.approx(serial.sm_active, rel=0.25)
+    # MPS plateaus at its cap, below HFTA's peak.
+    mps = sweeps["mps"][-1]
+    assert mps.sm_active <= device.mps_utilization_cap + 1e-6
+    assert hfta_curve[-1].sm_active > mps.sm_active

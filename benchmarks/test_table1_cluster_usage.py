@@ -1,0 +1,52 @@
+"""Table 1 / Figure 9: GPU-hour usage breakdown of a two-month cluster trace.
+
+Paper: repetitive single-GPU 46.2%, isolated single-GPU 3.5%, distributed
+24.0%, other 26.3% over 51K jobs / 472K GPU hours.  The benchmark generates a
+synthetic trace with the paper's submission patterns, runs the Appendix A
+classifier, and reports the recovered breakdown.
+"""
+
+import pytest
+
+from repro import cluster
+from .conftest import print_table
+
+PAPER_SHARES = {"repetitive_single_gpu": 0.462, "isolated_single_gpu": 0.035,
+                "distributed": 0.240, "other": 0.263}
+
+
+@pytest.fixture(scope="module")
+def trace():
+    # A fifth of the real trace size keeps the benchmark quick while leaving
+    # thousands of bursts for the classifier to find.
+    return cluster.generate_trace(cluster.TraceConfig(num_jobs=10000, seed=0))
+
+
+def test_table1_gpu_hour_breakdown(benchmark, trace):
+    def run():
+        labels = cluster.classify_jobs(trace)
+        return cluster.usage_breakdown(trace, labels)
+
+    breakdown = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [(cat, breakdown[f"{cat}_share"], PAPER_SHARES[cat])
+            for cat in cluster.JOB_CATEGORIES]
+    print_table("Table 1: GPU-hour shares (simulated vs paper)", rows,
+                header=("category", "simulated", "paper"))
+    print(f"  total jobs: {len(trace)}, total GPU hours: "
+          f"{breakdown['total']:.0f}")
+
+    # Shape: repetitive single-GPU work dominates, isolated is the smallest.
+    rep = breakdown["repetitive_single_gpu_share"]
+    assert rep == max(breakdown[f"{c}_share"] for c in cluster.JOB_CATEGORIES)
+    assert abs(rep - PAPER_SHARES["repetitive_single_gpu"]) < 0.12
+    assert breakdown["isolated_single_gpu_share"] < 0.10
+
+
+def test_table1_classifier_recovers_ground_truth(benchmark, trace):
+    labels = benchmark.pedantic(lambda: cluster.classify_jobs(trace),
+                                rounds=1, iterations=1)
+    accuracy = cluster.classification_accuracy(trace, labels)
+    print(f"\nAppendix A classifier accuracy on the synthetic trace: "
+          f"{accuracy:.3f}")
+    assert accuracy > 0.95

@@ -1,0 +1,59 @@
+"""Table 5: peak training-throughput speedups of HFTA over each baseline
+(best of FP32/AMP per scheme), for the three major benchmarks on V100,
+RTX6000 and A100.
+"""
+
+import pytest
+
+from repro import hwsim
+from .conftest import print_table
+
+PAPER_TABLE5 = {
+    ("V100", "pointnet_cls"): {"serial": 5.02, "concurrent": 4.87, "mps": 4.50},
+    ("V100", "pointnet_seg"): {"serial": 4.29, "concurrent": 4.24, "mps": 3.03},
+    ("V100", "dcgan"): {"serial": 4.59, "concurrent": 2.01, "mps": 2.03},
+    ("RTX6000", "pointnet_cls"): {"serial": 4.36, "concurrent": 4.26, "mps": 3.79},
+    ("RTX6000", "pointnet_seg"): {"serial": 3.63, "concurrent": 3.54, "mps": 2.54},
+    ("RTX6000", "dcgan"): {"serial": 6.29, "concurrent": 1.72, "mps": 1.82},
+    ("A100", "pointnet_cls"): {"serial": 11.50, "concurrent": 12.98,
+                               "mps": 4.72, "mig": 4.88},
+    ("A100", "pointnet_seg"): {"serial": 9.48, "concurrent": 10.26,
+                               "mps": 2.93, "mig": 3.02},
+    ("A100", "dcgan"): {"serial": 4.41, "concurrent": 1.29, "mps": 1.33,
+                        "mig": 1.33},
+}
+
+
+def test_table5_peak_speedups(benchmark):
+    def compute():
+        table = {}
+        for (device_name, workload_name) in PAPER_TABLE5:
+            device = hwsim.get_device(device_name)
+            workload = hwsim.get_workload(workload_name)
+            table[(device_name, workload_name)] = hwsim.peak_speedups(
+                workload, device)
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for key, speedups in table.items():
+        paper = PAPER_TABLE5[key]
+        for mode, value in speedups.items():
+            rows.append((f"{key[0]}/{key[1]}", mode, value,
+                         paper.get(mode, float("nan"))))
+    print_table("Table 5: HFTA peak-throughput speedups (simulated vs paper)",
+                rows, header=("platform/workload", "baseline", "simulated",
+                              "paper"))
+
+    for key, speedups in table.items():
+        # Shape: HFTA beats every baseline everywhere ...
+        assert all(v > 1.0 for v in speedups.values()), (key, speedups)
+        # ... and the speedup over serial/concurrent exceeds the one over the
+        # hardware-sharing features only where the paper says so (A100 MPS/MIG
+        # narrow the gap but never close it).
+        assert speedups["serial"] > 1.5
+
+    # Cross-generation trend: the A100 benefits more than the V100.
+    for wl in ("pointnet_cls", "pointnet_seg"):
+        assert table[("A100", wl)]["serial"] > table[("V100", wl)]["serial"]

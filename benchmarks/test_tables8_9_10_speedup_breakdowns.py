@@ -1,0 +1,84 @@
+"""Tables 8, 9 and 10 (Appendix G): speedup breakdowns.
+
+* Table 8 — HFTA peak speedups split by precision (FP32 vs AMP).
+* Table 9 — maximum HFTA speedup at an *equal* number of co-resident models
+  (isolates the utilization benefit from the memory-capacity benefit).
+* Table 10 — maximum AMP-over-FP32 speedup per execution scheme: only HFTA
+  extracts substantial value from tensor cores.
+"""
+
+import pytest
+
+from repro import hwsim
+from .conftest import print_table
+
+WORKLOADS = ("pointnet_cls", "pointnet_seg", "dcgan")
+
+
+def test_table8_peak_speedups_by_precision(benchmark):
+    device = hwsim.V100
+
+    def compute():
+        return {(wl, prec): hwsim.peak_speedups(hwsim.get_workload(wl), device,
+                                                precision=prec)
+                for wl in WORKLOADS for prec in ("fp32", "amp")}
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [(f"{wl}/{prec}", mode, value)
+            for (wl, prec), speedups in table.items()
+            for mode, value in speedups.items()]
+    print_table("Table 8: V100 peak speedups by precision", rows,
+                header=("workload/precision", "baseline", "speedup"))
+
+    for wl in WORKLOADS:
+        # AMP widens HFTA's margin over serial for the PointNet tasks.
+        if wl != "dcgan":
+            assert table[(wl, "amp")]["serial"] >= table[(wl, "fp32")]["serial"]
+        assert all(v > 1.0 for v in table[(wl, "fp32")].values())
+
+
+def test_table9_equal_model_speedups(benchmark):
+    device = hwsim.V100
+
+    def compute():
+        return {(wl, prec): hwsim.equal_models_speedups(
+                    hwsim.get_workload(wl), device, prec)
+                for wl in WORKLOADS for prec in ("fp32", "amp")}
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [(f"{wl}/{prec}", mode, value)
+            for (wl, prec), speedups in table.items()
+            for mode, value in speedups.items()]
+    print_table("Table 9: max speedup at equal model count (V100)", rows,
+                header=("workload/precision", "baseline", "speedup"))
+
+    for key, speedups in table.items():
+        assert all(v >= 1.0 for v in speedups.values()), (key, speedups)
+
+
+def test_table10_amp_over_fp32(benchmark):
+    device = hwsim.V100
+    paper = {"pointnet_cls": 1.92, "pointnet_seg": 2.65, "dcgan": 1.10}
+
+    def compute():
+        return {wl: hwsim.amp_over_fp32_speedups(hwsim.get_workload(wl),
+                                                 device)
+                for wl in WORKLOADS}
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [(wl, mode, value, paper[wl] if mode == "hfta" else float("nan"))
+            for wl, speedups in table.items()
+            for mode, value in speedups.items()]
+    print_table("Table 10: max AMP-over-FP32 speedups (V100)", rows,
+                header=("workload", "scheme", "simulated", "paper (HFTA)"))
+
+    for wl, speedups in table.items():
+        # Shape: HFTA exploits tensor cores better than any process-based
+        # scheme (up to a small tolerance where nobody benefits, i.e. DCGAN);
+        # serial barely benefits from AMP; DCGAN barely benefits at all (its
+        # (de)conv shapes map poorly onto TCs).
+        assert speedups["hfta"] >= max(v for k, v in speedups.items()
+                                       if k != "hfta") - 0.05
+        assert speedups["serial"] < 2.0
+    assert table["dcgan"]["hfta"] < 1.5
+    assert table["pointnet_seg"]["hfta"] > table["dcgan"]["hfta"]

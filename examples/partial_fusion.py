@@ -1,0 +1,74 @@
+"""Partial fusion of a ResNet-18 array (paper Appendix H.4 / Figure 17).
+
+When the models of a sweep are *not* architecturally identical everywhere
+(model-architecture search, ensembles), HFTA can still fuse the blocks they
+share.  This example builds a 4-model ResNet-18 array in which two blocks are
+left unfused, trains it for a few steps, and reports the simulated throughput
+cost of turning fusion off block by block.
+
+Run:  python examples/partial_fusion.py
+"""
+
+import numpy as np
+
+from repro import nn, hfta, hwsim
+from repro.data import DataLoader, SyntheticCIFAR10
+from repro.hfta import optim as fused_optim
+from repro.models import ResNet18, RESNET18_BLOCK_NAMES
+
+NUM_MODELS = 4
+
+
+def main():
+    # --- a partially fused array (two blocks unfused) ----------------------
+    fusion_mask = {name: True for name in RESNET18_BLOCK_NAMES}
+    fusion_mask["layer3.1"] = False
+    fusion_mask["fc"] = False
+    model = ResNet18(num_classes=10, num_models=NUM_MODELS, width=0.25,
+                     fusion_mask=fusion_mask,
+                     generator=np.random.default_rng(0))
+    print(f"Partially fused ResNet-18 array: {model.num_fused_blocks}/"
+          f"{len(RESNET18_BLOCK_NAMES)} blocks fused, "
+          f"{model.num_parameters():,} parameters total")
+
+    # The fused optimizer manages the fused ([B, ...]-shaped) parameters
+    # directly; the unfused block replicas are registered per model so each
+    # uses its own model's scalar hyper-parameters.
+    fused_params, per_model_params = model.parameter_groups()
+    optimizer = fused_optim.Adadelta(fused_params, num_models=NUM_MODELS,
+                                     lr=[0.5, 1.0, 1.5, 2.0])
+    for model_index, params in per_model_params.items():
+        optimizer.add_unfused_param_group(params, model_index)
+    criterion = hfta.FusedCrossEntropyLoss(NUM_MODELS)
+    dataset = SyntheticCIFAR10(num_samples=64, image_size=16, seed=0)
+    loader = DataLoader(dataset, batch_size=8, shuffle=True, seed=0)
+
+    for step, (images, labels) in enumerate(loader):
+        if step >= 4:
+            break
+        optimizer.zero_grad()
+        fused_images = model.fuse_inputs([nn.tensor(images)] * NUM_MODELS)
+        logits = model(fused_images)
+        loss = criterion(logits, np.stack([labels] * NUM_MODELS))
+        loss.backward()
+        optimizer.step()
+        print(f"  step {step}: fused loss {loss.item():.4f}")
+
+    # --- the throughput cost of partial fusion (Figure 17) -----------------
+    print("\nSimulated throughput of 30 ResNet-18 models on a V100 as fusion "
+          "is turned off block by block:")
+    workload = hwsim.get_workload("resnet18")
+    order = list(RESNET18_BLOCK_NAMES)
+    full_time = hwsim.partial_fusion_iteration_time(
+        workload, hwsim.V100, set(order), hwsim.RESNET18_BLOCK_PREFIXES, 30)
+    for k in range(len(order) + 1):
+        fused_blocks = set(order[:len(order) - k])
+        t = hwsim.partial_fusion_iteration_time(
+            workload, hwsim.V100, fused_blocks, hwsim.RESNET18_BLOCK_PREFIXES,
+            30)
+        print(f"  {len(fused_blocks):2d} fused blocks: normalized throughput "
+              f"{full_time / t:.2f}")
+
+
+if __name__ == "__main__":
+    main()

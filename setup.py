@@ -1,0 +1,7 @@
+"""Setuptools shim so that ``pip install -e .`` works with the legacy
+(non-PEP-660) editable-install path on environments without the ``wheel``
+package.  All project metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

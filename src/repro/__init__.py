@@ -1,0 +1,34 @@
+"""repro — a reproduction of *Horizontally Fused Training Array* (MLSys 2021).
+
+Top-level subpackages
+---------------------
+``repro.nn``
+    Numpy-backed tensor/autograd substrate and the standard layer zoo.
+``repro.optim``
+    Unfused optimizers and LR schedulers (serial baselines).
+``repro.hfta``
+    The paper's contribution: horizontally fused operators, optimizers,
+    LR schedulers, loss scaling and model-array fusion helpers.
+``repro.models``
+    The paper's benchmark models (PointNet, DCGAN, ResNet-18,
+    MobileNetV3-Large, Transformer-LM, BERT-Medium) in serial and fused form.
+``repro.data``
+    Synthetic stand-ins for ShapeNet-part, LSUN, CIFAR-10 and WikiText-2.
+``repro.hwsim``
+    Analytical accelerator performance/memory simulator used to regenerate
+    the paper's throughput, memory-footprint, and utilization-counter
+    figures for serial / concurrent / MPS / MIG / HFTA sharing.
+``repro.cluster``
+    GPU-cluster usage trace generation and the paper's repetitive-job
+    classifier (Table 1 / Figures 9-10).
+``repro.hfht``
+    Horizontally Fused Hyper-parameter Tuning: random search and Hyperband
+    integrated with HFTA/MPS/concurrent/serial job scheduling (Figure 8).
+"""
+
+__version__ = "1.0.0"
+
+from . import nn  # noqa: F401
+from . import optim  # noqa: F401
+
+__all__ = ["nn", "optim", "__version__"]

@@ -1,0 +1,23 @@
+"""GPU-cluster usage study: trace generation, job classification, accounting.
+
+Reproduces the machinery behind the paper's Table 1 and Figures 9-10: a
+synthetic two-month job log with the Vector Institute cluster's submission
+patterns, the Appendix A repetitive-job classifier (single-GPU rule,
+60-second submission bursts, normalized Levenshtein name similarity >= 0.9),
+GPU-hour accounting, and utilization sampling of the repetitive jobs.
+"""
+
+from .jobs import JobRecord, JOB_CATEGORIES
+from .levenshtein import levenshtein_distance, normalized_similarity
+from .generator import TraceConfig, generate_trace
+from .classifier import (ClassifierConfig, classify_jobs, usage_breakdown,
+                         classification_accuracy)
+from .analysis import JobUtilizationSample, sample_repetitive_utilization
+
+__all__ = [
+    "JobRecord", "JOB_CATEGORIES", "levenshtein_distance",
+    "normalized_similarity", "TraceConfig", "generate_trace",
+    "ClassifierConfig", "classify_jobs", "usage_breakdown",
+    "classification_accuracy", "JobUtilizationSample",
+    "sample_repetitive_utilization",
+]

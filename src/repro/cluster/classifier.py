@@ -1,0 +1,137 @@
+"""The paper's repetitive-job classifier and GPU-hour accounting (Appendix A).
+
+A job is classified as **repetitive single-GPU training** when:
+
+1. it requests a single GPU and does not constrain node placement
+   (so it cannot be distributed training);
+2. it belongs to a batch of such jobs submitted by the *same user* within a
+   *short window* (60 seconds), i.e. the submission was automated; and
+3. the job names within that batch are very similar — normalized Levenshtein
+   similarity of at least 0.9 — differing only in small variations such as a
+   learning-rate value or an optimizer setting.
+
+Jobs failing rule 1 with more than one GPU / node constraints are counted as
+distributed; remaining single-GPU jobs are isolated; everything else is
+"other".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .jobs import JOB_CATEGORIES, JobRecord
+from .levenshtein import normalized_similarity
+
+__all__ = ["ClassifierConfig", "classify_jobs", "usage_breakdown",
+           "classification_accuracy"]
+
+
+@dataclass
+class ClassifierConfig:
+    """Thresholds of the Appendix A procedure."""
+
+    burst_window_s: float = 60.0
+    name_similarity_threshold: float = 0.9
+    min_batch_size: int = 2
+    #: job-name prefixes of non-training (interactive / debugging / service)
+    #: work — these are the jobs the paper's "other" category captures as
+    #: "cannot be identified" as training
+    non_training_prefixes: tuple = ("jupyter", "bash", "debug", "interactive",
+                                    "sbatch_job", "eval")
+
+
+def _burst_groups(jobs: Sequence[JobRecord],
+                  window_s: float) -> List[List[JobRecord]]:
+    """Group single-GPU jobs of one user into submission bursts."""
+    groups: List[List[JobRecord]] = []
+    current: List[JobRecord] = []
+    for job in sorted(jobs, key=lambda j: j.submit_time_s):
+        if not current or job.submit_time_s - current[0].submit_time_s <= window_s:
+            current.append(job)
+        else:
+            groups.append(current)
+            current = [job]
+    if current:
+        groups.append(current)
+    return groups
+
+
+def _similar_name_cluster(group: Sequence[JobRecord],
+                          threshold: float) -> List[JobRecord]:
+    """The subset of a burst whose names are mutually similar to a seed job."""
+    if len(group) < 2:
+        return []
+    seed = group[0]
+    cluster = [job for job in group
+               if normalized_similarity(seed.name, job.name) >= threshold]
+    return cluster if len(cluster) >= 2 else []
+
+
+def classify_jobs(jobs: Iterable[JobRecord],
+                  config: ClassifierConfig = ClassifierConfig()
+                  ) -> Dict[int, str]:
+    """Assign each job id one of the four Table 1 categories."""
+    jobs = list(jobs)
+    labels: Dict[int, str] = {}
+
+    # Rule 1 partition: distributed vs single-GPU candidates vs other.
+    single_gpu: List[JobRecord] = []
+    for job in jobs:
+        if any(job.name.startswith(prefix)
+               for prefix in config.non_training_prefixes):
+            labels[job.job_id] = "other"
+        elif job.num_gpus > 1 or job.num_nodes > 1 or job.requests_specific_node:
+            labels[job.job_id] = "distributed" if job.num_gpus > 1 else "other"
+        else:
+            single_gpu.append(job)
+
+    # Rules 2+3: per-user submission bursts with similar names.
+    by_user: Dict[str, List[JobRecord]] = defaultdict(list)
+    for job in single_gpu:
+        by_user[job.user].append(job)
+
+    repetitive_ids = set()
+    for user_jobs in by_user.values():
+        for group in _burst_groups(user_jobs, config.burst_window_s):
+            if len(group) < config.min_batch_size:
+                continue
+            cluster = _similar_name_cluster(group,
+                                            config.name_similarity_threshold)
+            repetitive_ids.update(job.job_id for job in cluster)
+
+    for job in single_gpu:
+        if job.job_id in repetitive_ids:
+            labels[job.job_id] = "repetitive_single_gpu"
+        else:
+            labels[job.job_id] = "isolated_single_gpu"
+    return labels
+
+
+def usage_breakdown(jobs: Iterable[JobRecord],
+                    labels: Dict[int, str]) -> Dict[str, float]:
+    """GPU-hour totals per category plus fractional shares (Table 1 / Fig 9)."""
+    totals = {cat: 0.0 for cat in JOB_CATEGORIES}
+    for job in jobs:
+        totals[labels[job.job_id]] += job.gpu_hours
+    grand_total = sum(totals.values())
+    breakdown = dict(totals)
+    breakdown["total"] = grand_total
+    for cat in JOB_CATEGORIES:
+        breakdown[f"{cat}_share"] = (totals[cat] / grand_total
+                                     if grand_total > 0 else 0.0)
+    return breakdown
+
+
+def classification_accuracy(jobs: Iterable[JobRecord],
+                            labels: Dict[int, str]) -> float:
+    """Fraction of jobs whose predicted category matches the ground truth."""
+    jobs = list(jobs)
+    known = [j for j in jobs if j.true_category is not None]
+    if not known:
+        raise ValueError("trace has no ground-truth categories")
+    correct = sum(1 for j in known if labels[j.job_id] == j.true_category)
+    return correct / len(known)

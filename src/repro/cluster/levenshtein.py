@@ -1,0 +1,42 @@
+"""Levenshtein (edit) distance and the normalized similarity the paper uses.
+
+Appendix A: two job names are considered similar if their *normalized*
+Levenshtein distance score is at least 0.9, where 1 means identical and 0
+means completely different.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["levenshtein_distance", "normalized_similarity"]
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic dynamic-programming edit distance (insert/delete/substitute)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Single-row DP, vectorized over the inner loop where possible.
+    previous = np.arange(len(b) + 1, dtype=np.int64)
+    current = np.empty_like(previous)
+    for i, ca in enumerate(a, start=1):
+        current[0] = i
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current[j] = min(previous[j] + 1,        # deletion
+                             current[j - 1] + 1,     # insertion
+                             previous[j - 1] + cost)  # substitution
+        previous, current = current, previous
+    return int(previous[len(b)])
+
+
+def normalized_similarity(a: str, b: str) -> float:
+    """Similarity in ``[0, 1]``: ``1 - distance / max(len)`` (1 = identical)."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest

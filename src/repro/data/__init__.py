@@ -1,0 +1,20 @@
+"""Synthetic datasets standing in for the paper's datasets.
+
+The paper trains on ShapeNet part (point clouds), LSUN (64x64 bedroom
+images), CIFAR-10 (32x32 images) and WikiText-2 (token streams).  None of
+those are redistributable inside this repository, and — crucially — none of
+the paper's *performance* results depend on the pixel/token values, only on
+the tensor shapes that flow through the operators.  The generators below
+produce learnable synthetic data with exactly the paper's shapes and label
+structure, so that:
+
+* throughput / utilization experiments exercise identical operator shapes,
+* convergence experiments (Figure 11) still have a signal to fit.
+"""
+
+from .datasets import (SyntheticShapeNetParts, SyntheticLSUN,
+                       SyntheticCIFAR10, SyntheticWikiText)
+from .dataloader import DataLoader
+
+__all__ = ["SyntheticShapeNetParts", "SyntheticLSUN", "SyntheticCIFAR10",
+           "SyntheticWikiText", "DataLoader"]

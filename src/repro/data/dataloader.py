@@ -1,0 +1,63 @@
+"""A minimal batching data loader.
+
+Mirrors ``torch.utils.data.DataLoader`` for the subset of functionality the
+examples and benchmarks need: shuffling, fixed batch size, drop-last, and
+automatic collation of tuple-structured samples into stacked numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DataLoader"]
+
+
+def _collate(samples: Sequence) -> Tuple:
+    """Stack a list of samples (tuples of arrays/scalars) into batch arrays."""
+    first = samples[0]
+    if isinstance(first, tuple):
+        return tuple(_collate([s[i] for s in samples])
+                     for i in range(len(first)))
+    if isinstance(first, np.ndarray):
+        return np.stack(samples, axis=0)
+    if isinstance(first, (int, np.integer)):
+        return np.asarray(samples, dtype=np.int64)
+    if isinstance(first, (float, np.floating)):
+        return np.asarray(samples, dtype=np.float32)
+    raise TypeError(f"cannot collate samples of type {type(first)!r}")
+
+
+class DataLoader:
+    """Iterate over a dataset in shuffled (or sequential) mini-batches."""
+
+    def __init__(self, dataset, batch_size: int = 32, shuffle: bool = False,
+                 drop_last: bool = False, seed: int = 0):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.seed = seed
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            rng = np.random.default_rng((self.seed, self._epoch))
+            rng.shuffle(order)
+        self._epoch += 1
+        for start in range(0, n, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            yield _collate([self.dataset[int(i)] for i in idx])

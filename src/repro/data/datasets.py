@@ -1,0 +1,185 @@
+"""Synthetic dataset generators with the paper's tensor shapes.
+
+Each dataset is deterministic given its seed, supports ``len()`` /
+``__getitem__`` (sample-level access, the :class:`repro.data.DataLoader`
+handles batching), and produces *learnable* data: the labels are functions of
+the inputs (cluster identity, class-dependent image statistics, next-token
+structure), so small models can visibly reduce their loss — which is all the
+convergence-equivalence experiments need.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SyntheticShapeNetParts", "SyntheticLSUN", "SyntheticCIFAR10",
+           "SyntheticWikiText"]
+
+
+class _SyntheticDataset:
+    """Base class: deterministic RNG, length, and indexing checks."""
+
+    def __init__(self, num_samples: int, seed: int = 0):
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        self.num_samples = num_samples
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    def _check_index(self, index: int) -> int:
+        if not -self.num_samples <= index < self.num_samples:
+            raise IndexError(f"index {index} out of range for dataset of "
+                             f"size {self.num_samples}")
+        return index % self.num_samples
+
+    def _rng(self, index: int) -> np.random.Generator:
+        return np.random.default_rng((self.seed, index))
+
+
+class SyntheticShapeNetParts(_SyntheticDataset):
+    """Point clouds with part labels, shaped like the ShapeNet part dataset.
+
+    Each sample is a cloud of ``num_points`` 3-D points drawn around
+    ``num_parts_per_object`` cluster centres whose overall arrangement is
+    determined by the object's class; the classification label is the class
+    id and the segmentation label is each point's cluster id.
+    """
+
+    def __init__(self, num_samples: int = 2048, num_points: int = 2500,
+                 num_classes: int = 16, num_parts: int = 50,
+                 parts_per_object: int = 4, seed: int = 0):
+        super().__init__(num_samples, seed)
+        self.num_points = num_points
+        self.num_classes = num_classes
+        self.num_parts = num_parts
+        self.parts_per_object = parts_per_object
+        # Deterministic per-class geometry: centres of each class's parts.
+        rng = np.random.default_rng(seed)
+        self._centres = rng.uniform(-1.0, 1.0,
+                                    size=(num_classes, parts_per_object, 3))
+        self._part_ids = np.stack([
+            rng.choice(num_parts, size=parts_per_object, replace=False)
+            for _ in range(num_classes)])
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int, np.ndarray]:
+        """Return ``(points [3, P], class_id, part_labels [P])``."""
+        index = self._check_index(index)
+        rng = self._rng(index)
+        class_id = int(index % self.num_classes)
+        assignment = rng.integers(0, self.parts_per_object,
+                                  size=self.num_points)
+        centres = self._centres[class_id][assignment]          # [P, 3]
+        points = centres + 0.1 * rng.standard_normal((self.num_points, 3))
+        part_labels = self._part_ids[class_id][assignment]     # [P]
+        return (points.T.astype(np.float32), class_id,
+                part_labels.astype(np.int64))
+
+
+class SyntheticLSUN(_SyntheticDataset):
+    """64x64 RGB images with LSUN-like statistics (for GAN training).
+
+    Images are smooth random fields (low-frequency noise) so that a small
+    DCGAN discriminator has structure to latch onto.
+    """
+
+    def __init__(self, num_samples: int = 4096, image_size: int = 64,
+                 channels: int = 3, seed: int = 0):
+        super().__init__(num_samples, seed)
+        self.image_size = image_size
+        self.channels = channels
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        index = self._check_index(index)
+        rng = self._rng(index)
+        low = max(2, self.image_size // 8)
+        base = rng.standard_normal((self.channels, low, low))
+        # Bilinear-ish upsampling by repetition + smoothing keeps it cheap.
+        reps = self.image_size // low
+        img = np.repeat(np.repeat(base, reps, axis=1), reps, axis=2)
+        img = img + 0.1 * rng.standard_normal(img.shape)
+        img = np.tanh(img)
+        return img.astype(np.float32)
+
+
+class SyntheticCIFAR10(_SyntheticDataset):
+    """32x32 10-class images whose class determines channel-mean structure.
+
+    A linear probe can reach well above chance accuracy, and convolutional
+    models (ResNet-18, MobileNetV3) reduce their loss monotonically — which
+    is what the convergence-equivalence experiments require.
+    """
+
+    def __init__(self, num_samples: int = 10000, image_size: int = 32,
+                 num_classes: int = 10, noise: float = 0.5, seed: int = 0):
+        super().__init__(num_samples, seed)
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self.noise = noise
+        rng = np.random.default_rng(seed)
+        self._prototypes = rng.standard_normal(
+            (num_classes, 3, image_size, image_size)).astype(np.float32)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        index = self._check_index(index)
+        rng = self._rng(index)
+        label = int(index % self.num_classes)
+        image = (self._prototypes[label]
+                 + self.noise * rng.standard_normal(
+                     (3, self.image_size, self.image_size)))
+        return image.astype(np.float32), label
+
+
+class SyntheticWikiText(_SyntheticDataset):
+    """Token sequences with Markov-chain structure (WikiText-2 stand-in).
+
+    A first-order Markov chain over ``vocab_size`` tokens generates each
+    sequence; language models can therefore reduce perplexity well below the
+    uniform baseline.  ``__getitem__`` returns ``(input_ids, target_ids)``
+    for next-token prediction; :meth:`masked_lm_sample` returns a BERT-style
+    ``(input_ids, target_ids, mask)`` triple.
+    """
+
+    def __init__(self, num_samples: int = 4096, seq_len: int = 32,
+                 vocab_size: int = 1000, mask_prob: float = 0.15,
+                 mask_token: Optional[int] = None, seed: int = 0):
+        super().__init__(num_samples, seed)
+        self.seq_len = seq_len
+        self.vocab_size = vocab_size
+        self.mask_prob = mask_prob
+        self.mask_token = mask_token if mask_token is not None else vocab_size - 1
+        rng = np.random.default_rng(seed)
+        # Sparse-ish transition matrix: each token prefers a few successors.
+        logits = rng.standard_normal((vocab_size, vocab_size))
+        top = np.argsort(logits, axis=1)[:, -8:]
+        probs = np.full((vocab_size, vocab_size), 1e-3)
+        np.put_along_axis(probs, top, 1.0, axis=1)
+        self._transition = probs / probs.sum(axis=1, keepdims=True)
+
+    def _sequence(self, rng: np.random.Generator, length: int) -> np.ndarray:
+        seq = np.empty(length, dtype=np.int64)
+        seq[0] = rng.integers(0, self.vocab_size)
+        for t in range(1, length):
+            seq[t] = rng.choice(self.vocab_size, p=self._transition[seq[t - 1]])
+        return seq
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        index = self._check_index(index)
+        rng = self._rng(index)
+        seq = self._sequence(rng, self.seq_len + 1)
+        return seq[:-1], seq[1:]
+
+    def masked_lm_sample(self, index: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(input_ids, target_ids, mask)`` with ``mask_prob`` masking."""
+        index = self._check_index(index)
+        rng = self._rng(index)
+        seq = self._sequence(rng, self.seq_len)
+        mask = rng.random(self.seq_len) < self.mask_prob
+        if not mask.any():
+            mask[rng.integers(0, self.seq_len)] = True
+        inputs = seq.copy()
+        inputs[mask] = self.mask_token
+        return inputs, seq, mask.astype(np.int64)

@@ -1,0 +1,159 @@
+"""Hyper-parameter tuning algorithms: random search and Hyperband.
+
+Both follow the propose / evaluate / update paradigm of the paper's
+Algorithm 1, yielding *batches* of (configuration, epochs) trials so that the
+scheduler can partition-and-fuse each batch (HFHT) or run it through the
+process-based sharing baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .space import SearchSpace, Value
+
+__all__ = ["Trial", "TuningAlgorithm", "RandomSearch", "Hyperband"]
+
+
+@dataclass
+class Trial:
+    """One requested evaluation: a configuration trained for some epochs."""
+
+    config: Dict[str, Value]
+    epochs: int
+
+
+class TuningAlgorithm:
+    """Iterator protocol: ``propose()`` a batch, then ``update()`` with results."""
+
+    name = "base"
+
+    def propose(self) -> List[Trial]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def update(self, trials: Sequence[Trial],
+               results: Sequence[float]) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def finished(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def best(self) -> Tuple[Optional[Dict[str, Value]], float]:
+        return getattr(self, "_best_config", None), getattr(self, "_best_score",
+                                                            float("-inf"))
+
+    def _track_best(self, trials: Sequence[Trial],
+                    results: Sequence[float]) -> None:
+        for trial, score in zip(trials, results):
+            if score > getattr(self, "_best_score", float("-inf")):
+                self._best_score = float(score)
+                self._best_config = dict(trial.config)
+
+
+class RandomSearch(TuningAlgorithm):
+    """Random search (Bergstra & Bengio, 2012): a fixed number of independent
+    configurations, each trained for a fixed number of epochs.
+
+    The paper's settings (Table 11): 60 sets x 25 epochs for PointNet,
+    50 sets x 20 epochs for MobileNet.
+    """
+
+    name = "random_search"
+
+    def __init__(self, space: SearchSpace, total_sets: int, epochs_per_set: int,
+                 batch_size: Optional[int] = None, seed: int = 0):
+        self.space = space
+        self.total_sets = total_sets
+        self.epochs_per_set = epochs_per_set
+        self.batch_size = batch_size or total_sets
+        self.rng = np.random.default_rng(seed)
+        self._proposed = 0
+        self._completed = 0
+
+    def propose(self) -> List[Trial]:
+        remaining = self.total_sets - self._proposed
+        count = min(self.batch_size, remaining)
+        self._proposed += count
+        return [Trial(self.space.sample(self.rng), self.epochs_per_set)
+                for _ in range(count)]
+
+    def update(self, trials: Sequence[Trial], results: Sequence[float]) -> None:
+        self._completed += len(trials)
+        self._track_best(trials, results)
+
+    def finished(self) -> bool:
+        return self._completed >= self.total_sets
+
+
+class Hyperband(TuningAlgorithm):
+    """Hyperband (Li et al., 2018) with successive halving brackets.
+
+    Parameters follow the paper's Table 11: ``max_epochs`` (R) is the maximum
+    epochs allowed for a single set, ``eta`` the inverse fraction of sets kept
+    after each round, and ``skip_last`` drops the final (least parallel)
+    rounds of each bracket — the paper skips 1 round for PointNet and 2 for
+    MobileNet.
+    """
+
+    name = "hyperband"
+
+    def __init__(self, space: SearchSpace, max_epochs: int = 81, eta: int = 3,
+                 skip_last: int = 0, seed: int = 0):
+        self.space = space
+        self.max_epochs = max_epochs
+        self.eta = eta
+        self.skip_last = skip_last
+        self.rng = np.random.default_rng(seed)
+        self.s_max = int(math.floor(math.log(max_epochs) / math.log(eta)))
+        self._brackets = list(range(self.s_max, -1, -1))
+        self._plan = self._build_plan()
+        self._stage = 0
+        self._pending_survivors: List[Dict[str, Value]] = []
+
+    def _build_plan(self) -> List[Tuple[int, int, int]]:
+        """List of (num_configs, epochs, bracket) stages across all brackets."""
+        plan: List[Tuple[int, int, int]] = []
+        for s in self._brackets:
+            n = int(math.ceil((self.s_max + 1) / (s + 1) * self.eta ** s))
+            r = self.max_epochs * self.eta ** (-s)
+            rounds = s + 1 - self.skip_last if s + 1 > self.skip_last else 1
+            for i in range(rounds):
+                n_i = int(math.floor(n * self.eta ** (-i)))
+                r_i = int(max(1, round(r * self.eta ** i)))
+                if n_i < 1:
+                    continue
+                plan.append((n_i, r_i, s))
+        return plan
+
+    def propose(self) -> List[Trial]:
+        n_i, r_i, bracket = self._plan[self._stage]
+        if self._pending_survivors:
+            configs = self._pending_survivors[:n_i]
+        else:
+            configs = self.space.sample_batch(n_i, self.rng)
+        self._current_configs = configs
+        return [Trial(dict(c), r_i) for c in configs]
+
+    def update(self, trials: Sequence[Trial], results: Sequence[float]) -> None:
+        self._track_best(trials, results)
+        n_i, r_i, bracket = self._plan[self._stage]
+        order = np.argsort(results)[::-1]
+        # Keep the top 1/eta for the next round of this bracket (if any).
+        keep = max(1, int(math.floor(len(trials) / self.eta)))
+        next_stage = self._stage + 1
+        same_bracket = (next_stage < len(self._plan)
+                        and self._plan[next_stage][2] == bracket)
+        if same_bracket:
+            self._pending_survivors = [dict(trials[i].config)
+                                       for i in order[:keep]]
+        else:
+            self._pending_survivors = []
+        self._stage = next_stage
+
+    def finished(self) -> bool:
+        return self._stage >= len(self._plan)

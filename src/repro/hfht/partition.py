@@ -1,0 +1,78 @@
+"""Partitioning proposed hyper-parameter sets into fusible groups.
+
+HFHT's integration point with existing tuning algorithms (paper Appendix E,
+Figure 12): when an algorithm proposes a batch of hyper-parameter sets, the
+sets are partitioned by the values of their *infusible* hyper-parameters;
+each partition shares one value per infusible hyper-parameter and can
+therefore be evaluated as a single horizontally fused job.  After the fused
+jobs finish, the results are scattered back into the algorithm's original
+order (``unfuse_and_reorder``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .space import SearchSpace, Value
+
+__all__ = ["Partition", "partition_and_fuse", "unfuse_and_reorder"]
+
+
+@dataclass
+class Partition:
+    """One fusible group of hyper-parameter sets."""
+
+    infusible_values: Tuple[Tuple[str, Value], ...]
+    configs: List[Dict[str, Value]]
+    original_indices: List[int]
+
+    @property
+    def num_models(self) -> int:
+        return len(self.configs)
+
+
+def partition_and_fuse(configs: Sequence[Dict[str, Value]],
+                       space: SearchSpace,
+                       max_fusion: int = 0) -> List[Partition]:
+    """Group configurations by their infusible hyper-parameter values.
+
+    ``max_fusion`` optionally caps a partition's size (e.g. to the number of
+    models that fit in device memory); oversized groups are split.
+    """
+    infusible = space.infusible_names()
+    groups: "OrderedDict[Tuple, Partition]" = OrderedDict()
+    for index, config in enumerate(configs):
+        key = tuple((name, config[name]) for name in infusible)
+        if key not in groups:
+            groups[key] = Partition(infusible_values=key, configs=[],
+                                    original_indices=[])
+        groups[key].configs.append(dict(config))
+        groups[key].original_indices.append(index)
+
+    partitions = list(groups.values())
+    if max_fusion and max_fusion > 0:
+        split: List[Partition] = []
+        for part in partitions:
+            for start in range(0, part.num_models, max_fusion):
+                split.append(Partition(
+                    infusible_values=part.infusible_values,
+                    configs=part.configs[start:start + max_fusion],
+                    original_indices=part.original_indices[start:start + max_fusion]))
+        partitions = split
+    return partitions
+
+
+def unfuse_and_reorder(partitions: Sequence[Partition],
+                       partition_results: Sequence[Sequence[float]]
+                       ) -> List[float]:
+    """Scatter per-partition result lists back into the original order."""
+    total = sum(p.num_models for p in partitions)
+    out: List[float] = [float("nan")] * total
+    for part, results in zip(partitions, partition_results):
+        if len(results) != part.num_models:
+            raise ValueError("result count does not match partition size")
+        for idx, value in zip(part.original_indices, results):
+            out[idx] = float(value)
+    return out

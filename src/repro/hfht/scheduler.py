@@ -1,0 +1,140 @@
+"""Job schedulers: evaluate a batch of trials under a sharing scheme.
+
+The scheduler is the piece HFHT swaps between Figure 8's four configurations:
+
+* ``serial``     — every trial runs alone on the device (the default of
+  hyper-parameter tuning frameworks);
+* ``concurrent`` — trials run as independent processes sharing the device
+  without MPS;
+* ``mps`` / ``mig`` — same, via the hardware sharing features;
+* ``hfta``       — the trials of each fusible partition are horizontally
+  fused into one job.
+
+Each scheduler returns the per-trial quality results (from the surrogate
+response surface) and accounts the *GPU hours* spent, which is what Figure 8
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hwsim import DeviceSpec, WorkloadSpec, max_models, simulate
+from .algorithms import Trial
+from .partition import Partition, partition_and_fuse, unfuse_and_reorder
+from .space import SearchSpace
+from .surrogate import surrogate_accuracy
+
+__all__ = ["SchedulerResult", "JobScheduler", "SCHEDULER_MODES"]
+
+SCHEDULER_MODES = ("serial", "concurrent", "mps", "mig", "hfta")
+
+
+@dataclass
+class SchedulerResult:
+    """Outcome of evaluating one batch of trials."""
+
+    results: List[float]
+    gpu_hours: float
+    num_jobs_launched: int
+
+
+class JobScheduler:
+    """Evaluates tuning trials on one device under a sharing scheme."""
+
+    def __init__(self, workload: WorkloadSpec, device: DeviceSpec,
+                 space: SearchSpace, mode: str = "serial",
+                 precision: str = "amp", task: Optional[str] = None):
+        if mode not in SCHEDULER_MODES:
+            raise ValueError(f"unknown scheduler mode '{mode}'")
+        self.workload = workload
+        self.device = device
+        self.space = space
+        self.mode = mode
+        self.precision = precision
+        self.task = task or workload.name
+        self.total_gpu_hours = 0.0
+        self.total_jobs = 0
+
+    # ------------------------------------------------------------------ #
+    def _epoch_hours(self, sharing_mode: str, num_jobs: int,
+                     epochs: float) -> float:
+        """GPU hours consumed by ``num_jobs`` co-scheduled jobs for ``epochs``."""
+        result = simulate(self.workload, self.device, sharing_mode, num_jobs,
+                          self.precision)
+        if not result.fits or result.throughput <= 0:
+            return float("inf")
+        iterations = epochs * self.workload.iterations_per_epoch
+        samples = iterations * self.workload.batch_size * num_jobs
+        seconds = samples / result.throughput
+        return seconds / 3600.0
+
+    def _evaluate_trials(self, trials: Sequence[Trial]) -> List[float]:
+        return [surrogate_accuracy(self.task, t.config, t.epochs)
+                for t in trials]
+
+    # ------------------------------------------------------------------ #
+    def run_batch(self, trials: Sequence[Trial]) -> SchedulerResult:
+        """Evaluate a batch of trials, returning results and GPU-hour cost."""
+        trials = list(trials)
+        if not trials:
+            return SchedulerResult([], 0.0, 0)
+        if self.mode == "hfta":
+            result = self._run_fused(trials)
+        else:
+            result = self._run_processes(trials)
+        self.total_gpu_hours += result.gpu_hours
+        self.total_jobs += result.num_jobs_launched
+        return result
+
+    def _run_processes(self, trials: Sequence[Trial]) -> SchedulerResult:
+        """serial / concurrent / MPS / MIG: one process per trial."""
+        results = self._evaluate_trials(trials)
+        gpu_hours = 0.0
+        if self.mode == "serial":
+            for trial in trials:
+                gpu_hours += self._epoch_hours("serial", 1, trial.epochs)
+            return SchedulerResult(results, gpu_hours, len(trials))
+
+        capacity = max_models(self.workload, self.device, self.mode,
+                              self.precision)
+        if capacity < 1:
+            raise RuntimeError(
+                f"{self.mode} cannot fit a single {self.workload.name} job on "
+                f"{self.device.name}")
+        # Greedily co-schedule as many processes as fit; different epoch
+        # budgets within one wave are conservatively billed at the longest.
+        remaining = sorted(trials, key=lambda t: -t.epochs)
+        while remaining:
+            wave = remaining[:capacity]
+            remaining = remaining[capacity:]
+            epochs = max(t.epochs for t in wave)
+            gpu_hours += self._epoch_hours(self.mode, len(wave), epochs)
+        return SchedulerResult(results, gpu_hours, len(trials))
+
+    def _run_fused(self, trials: Sequence[Trial]) -> SchedulerResult:
+        """HFTA: partition by infusible hyper-parameters, fuse each partition."""
+        configs = [t.config for t in trials]
+        capacity = max_models(self.workload, self.device, "hfta",
+                              self.precision)
+        partitions = partition_and_fuse(configs, self.space,
+                                        max_fusion=capacity)
+        # Trials within a partition may request different epoch budgets
+        # (Hyperband); the fused job runs for the longest budget, and each
+        # model simply stops updating after its own budget — the cost is the
+        # fused job's duration.
+        per_partition_results: List[List[float]] = []
+        gpu_hours = 0.0
+        trial_by_index = {i: t for i, t in enumerate(trials)}
+        for part in partitions:
+            part_trials = [trial_by_index[i] for i in part.original_indices]
+            epochs = max(t.epochs for t in part_trials)
+            gpu_hours += self._epoch_hours("hfta", part.num_models, epochs)
+            per_partition_results.append(
+                [surrogate_accuracy(self.task, t.config, t.epochs)
+                 for t in part_trials])
+        results = unfuse_and_reorder(partitions, per_partition_results)
+        return SchedulerResult(results, gpu_hours, len(partitions))

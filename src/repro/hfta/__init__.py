@@ -1,0 +1,33 @@
+"""Horizontally Fused Training Array (HFTA) — the paper's core contribution.
+
+``repro.hfta`` fuses the models of ``B`` repetitive training jobs (same
+operator types, same shapes — e.g. the jobs of a hyper-parameter sweep)
+into a single *array-of-models* that trains on one shared accelerator:
+
+* :mod:`repro.hfta.ops` — fused operators (Table 6 rules): grouped
+  convolutions, batched linear (``baddbmm``), folded batch norm, offset
+  embeddings, fused attention, ...
+* :mod:`repro.hfta.optim` — fused optimizers (Adam, Adadelta, SGD) and LR
+  schedulers operating on per-model hyper-parameter vectors.
+* :mod:`repro.hfta.losses` — fused criteria with the Appendix C loss-scaling
+  rule that reconstructs each model's independent gradients.
+* :mod:`repro.hfta.fusion` — helpers to move weights between unfused models
+  and fused arrays, and to validate fusibility.
+
+Because every transformation is mathematically equivalent, HFTA has no
+effect on any individual model's convergence; the speedup comes purely from
+launching fewer, larger, better-utilizing kernels.
+"""
+
+from . import ops
+from . import optim
+from .losses import (scale_fused_loss, FusedCrossEntropyLoss, FusedNLLLoss,
+                     FusedMSELoss, FusedBCELoss)
+from .fusion import (load_from_unfused, export_to_unfused,
+                     validate_fusibility, fused_parameter_report)
+
+__all__ = [
+    "ops", "optim", "scale_fused_loss", "FusedCrossEntropyLoss",
+    "FusedNLLLoss", "FusedMSELoss", "FusedBCELoss", "load_from_unfused",
+    "export_to_unfused", "validate_fusibility", "fused_parameter_report",
+]

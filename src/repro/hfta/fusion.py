@@ -1,0 +1,140 @@
+"""Model-array fusion helpers.
+
+This module provides the glue between *unfused* models (one
+:class:`repro.nn.Module` per training job) and their *fused* counterparts
+(one module whose parameters carry a leading array dimension ``B``):
+
+* :func:`load_from_unfused` copies the weights of ``B`` independently
+  constructed models into the corresponding slots of a fused model, so that
+  fused training starts from exactly the same initial state as the ``B``
+  serial jobs (required for the convergence-equivalence experiments,
+  paper Appendix D / Figure 11).
+* :func:`export_to_unfused` extracts one model's weights back out of the
+  fused array (e.g. to hand the winning hyper-parameter configuration's
+  checkpoint back to the user after an HFHT sweep).
+* :func:`validate_fusibility` checks the structural precondition that the
+  paper's key observation relies on: the models must have the same operator
+  types with the same shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..nn.modules.module import Module
+
+__all__ = ["load_from_unfused", "export_to_unfused", "validate_fusibility",
+           "fused_parameter_report"]
+
+
+def _fused_param_map(fused: Module) -> Dict[str, np.ndarray]:
+    return {name: p.data for name, p in fused.named_parameters()}
+
+
+def _fused_buffer_map(fused: Module) -> Dict[str, np.ndarray]:
+    return {name: b for name, b in fused.named_buffers()}
+
+
+def load_from_unfused(fused: Module, unfused_models: Sequence[Module]) -> Module:
+    """Copy ``B`` unfused models' weights into the slots of a fused model.
+
+    The fused and unfused models must use the same module/parameter names
+    (the fused model classes in :mod:`repro.models` are written this way).
+    A fused parameter of shape ``[B, *s]`` receives model ``b``'s parameter
+    of shape ``s`` in slot ``b``; a fused buffer of shape ``[B * c, ...]``
+    (e.g. batch-norm running stats) receives model ``b``'s buffer in the
+    ``b``-th block of ``c`` entries.
+    """
+    num_models = len(unfused_models)
+    fused_params = _fused_param_map(fused)
+    fused_buffers = _fused_buffer_map(fused)
+
+    for b, model in enumerate(unfused_models):
+        for name, p in model.named_parameters():
+            if name not in fused_params:
+                raise KeyError(f"fused model has no parameter named '{name}'")
+            target = fused_params[name]
+            if target.shape != (num_models,) + p.shape:
+                raise ValueError(
+                    f"parameter '{name}': fused shape {target.shape} is not "
+                    f"[B={num_models}] + unfused shape {p.shape}")
+            target[b] = p.data
+        for name, buf in model.named_buffers():
+            if name not in fused_buffers or buf is None:
+                continue
+            target = fused_buffers[name]
+            if target is None:
+                continue
+            block = buf.shape[0]
+            expected = (num_models * block,) + buf.shape[1:]
+            if target.shape != expected:
+                raise ValueError(
+                    f"buffer '{name}': fused shape {target.shape} != {expected}")
+            target[b * block:(b + 1) * block] = buf
+    return fused
+
+
+def export_to_unfused(fused: Module, index: int, template: Module) -> Module:
+    """Extract fused model slot ``index`` into an unfused ``template`` model."""
+    fused_params = _fused_param_map(fused)
+    fused_buffers = _fused_buffer_map(fused)
+    for name, p in template.named_parameters():
+        target = fused_params.get(name)
+        if target is None:
+            raise KeyError(f"fused model has no parameter named '{name}'")
+        p.data[...] = target[index]
+    for name, buf in template.named_buffers():
+        if buf is None:
+            continue
+        source = fused_buffers.get(name)
+        if source is None:
+            continue
+        block = buf.shape[0]
+        buf[...] = source[index * block:(index + 1) * block]
+    return template
+
+
+def validate_fusibility(models: Sequence[Module]) -> bool:
+    """Check that ``B`` models have identical operator types and shapes.
+
+    This is the structural precondition of inter-model horizontal fusion
+    (paper Section 3, first key observation).  Raises ``ValueError`` with a
+    description of the first mismatch; returns ``True`` if the models are
+    fusible.
+    """
+    if len(models) < 2:
+        return True
+    reference = models[0]
+    ref_sig = [(name, type(m).__name__) for name, m in reference.named_modules()]
+    ref_params = [(name, p.shape) for name, p in reference.named_parameters()]
+    for i, other in enumerate(models[1:], start=1):
+        sig = [(name, type(m).__name__) for name, m in other.named_modules()]
+        if sig != ref_sig:
+            raise ValueError(
+                f"model {i} has a different module structure than model 0 "
+                f"(these jobs cannot be horizontally fused; HFHT would place "
+                f"them in different partitions)")
+        params = [(name, p.shape) for name, p in other.named_parameters()]
+        if params != ref_params:
+            mismatch = next((a, b) for a, b in zip(ref_params, params) if a != b)
+            raise ValueError(
+                f"model {i} has a parameter shape mismatch vs model 0: "
+                f"{mismatch[0]} vs {mismatch[1]}")
+    return True
+
+
+def fused_parameter_report(fused: Module) -> Dict[str, int]:
+    """Summarize a fused model: array size, parameter count, per-model count."""
+    num_models = None
+    for module in fused.modules():
+        if hasattr(module, "num_models"):
+            num_models = module.num_models
+            break
+    total = fused.num_parameters()
+    return {
+        "num_models": num_models or 1,
+        "total_parameters": total,
+        "parameters_per_model": total // (num_models or 1),
+    }

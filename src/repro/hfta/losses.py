@@ -1,0 +1,146 @@
+"""Fused loss handling (paper Section 3 "Loss Scaling" and Appendix C).
+
+When ``B`` models are horizontally fused, their per-model losses are combined
+into a single scalar so that one backward pass trains all ``B`` models.  The
+paper's Appendix C derives the scaling rule that reconstructs exactly the
+gradients each model would have received if trained independently:
+
+* **mean reduction** — the fused loss ``L = (1/B) * sum_b l_b`` must be
+  scaled by ``B`` before ``backward()`` (because ``grad_{theta_b} L =
+  (1/B) grad_{theta_b} l_b``);
+* **sum reduction / no reduction** — no scaling is needed
+  (``grad_{theta_b} L = grad_{theta_b} l_b``).
+
+The derivation makes no assumption on the form of ``l_b``, so the rule
+applies to any criterion, including ones with regularization terms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.modules.module import Module
+from ..nn.tensor import Tensor
+
+__all__ = ["scale_fused_loss", "FusedCrossEntropyLoss", "FusedNLLLoss",
+           "FusedMSELoss", "FusedBCELoss"]
+
+
+def scale_fused_loss(loss: Tensor, num_models: int,
+                     reduction: str = "mean") -> Tensor:
+    """Apply Appendix C's gradient-reconstruction scaling to a fused loss.
+
+    Parameters
+    ----------
+    loss:
+        The scalar loss computed over the *fused* outputs of all ``B``
+        models (e.g. cross entropy over ``B*N`` predictions).
+    num_models:
+        ``B``, the number of horizontally fused models.
+    reduction:
+        The reduction used when computing ``loss``.  Only ``"mean"``
+        requires scaling.
+    """
+    if reduction == "mean":
+        return loss * float(num_models)
+    if reduction in ("sum", "none"):
+        return loss
+    raise ValueError(f"unsupported reduction: {reduction}")
+
+
+class _FusedLoss(Module):
+    """Base class for fused criteria.
+
+    The fused criteria expect predictions in the batched layout
+    ``[B, N, ...]`` (or channel-folded layouts flattened by the caller), and
+    return the *already scaled* scalar loss so that calling ``backward()``
+    reproduces each model's independent gradients.  ``per_model()`` exposes
+    the individual losses, which HFHT uses to report each job's metric.
+    """
+
+    def __init__(self, num_models: int, reduction: str = "mean"):
+        super().__init__()
+        if reduction not in ("mean", "sum"):
+            raise ValueError(f"unsupported reduction: {reduction}")
+        self.num_models = num_models
+        self.reduction = reduction
+
+    def _per_model_loss(self, prediction: Tensor, target) -> list:
+        raise NotImplementedError
+
+    def per_model(self, prediction: Tensor, target) -> np.ndarray:
+        """Return the ``B`` per-model loss values (detached, for logging)."""
+        losses = self._per_model_loss(prediction, target)
+        return np.array([float(l.data) for l in losses], dtype=np.float64)
+
+    def extra_repr(self) -> str:
+        return f"B={self.num_models}, reduction={self.reduction}"
+
+
+class FusedCrossEntropyLoss(_FusedLoss):
+    """Cross entropy over fused logits ``[B, N, C]`` and targets ``[B, N]``."""
+
+    def forward(self, logits: Tensor, target) -> Tensor:
+        b, n, c = logits.shape[0], logits.shape[1], logits.shape[-1]
+        tgt = target.data if isinstance(target, Tensor) else np.asarray(target)
+        flat_logits = logits.reshape(b * int(np.prod(logits.shape[1:-1])), c)
+        flat_target = tgt.reshape(-1)
+        loss = F.cross_entropy(flat_logits, flat_target, self.reduction)
+        return scale_fused_loss(loss, self.num_models, self.reduction)
+
+    def _per_model_loss(self, logits: Tensor, target) -> list:
+        tgt = target.data if isinstance(target, Tensor) else np.asarray(target)
+        out = []
+        for bidx in range(self.num_models):
+            c = logits.shape[-1]
+            lb = logits[bidx].reshape(-1, c)
+            tb = tgt[bidx].reshape(-1)
+            out.append(F.cross_entropy(lb, tb, self.reduction))
+        return out
+
+
+class FusedNLLLoss(_FusedLoss):
+    """NLL over fused log-probabilities ``[B, N, C]`` and targets ``[B, N]``."""
+
+    def forward(self, log_probs: Tensor, target) -> Tensor:
+        c = log_probs.shape[-1]
+        tgt = target.data if isinstance(target, Tensor) else np.asarray(target)
+        loss = F.nll_loss(log_probs.reshape(-1, c), tgt.reshape(-1),
+                          self.reduction)
+        return scale_fused_loss(loss, self.num_models, self.reduction)
+
+    def _per_model_loss(self, log_probs: Tensor, target) -> list:
+        tgt = target.data if isinstance(target, Tensor) else np.asarray(target)
+        c = log_probs.shape[-1]
+        return [F.nll_loss(log_probs[b].reshape(-1, c), tgt[b].reshape(-1),
+                           self.reduction)
+                for b in range(self.num_models)]
+
+
+class FusedMSELoss(_FusedLoss):
+    """Mean-squared error over fused predictions ``[B, ...]``."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        loss = F.mse_loss(prediction, target, self.reduction)
+        return scale_fused_loss(loss, self.num_models, self.reduction)
+
+    def _per_model_loss(self, prediction: Tensor, target) -> list:
+        tgt = target.data if isinstance(target, Tensor) else np.asarray(target)
+        return [F.mse_loss(prediction[b], tgt[b], self.reduction)
+                for b in range(self.num_models)]
+
+
+class FusedBCELoss(_FusedLoss):
+    """Binary cross entropy over fused probabilities ``[B, ...]`` (DCGAN)."""
+
+    def forward(self, prob: Tensor, target) -> Tensor:
+        loss = F.binary_cross_entropy(prob, target, self.reduction)
+        return scale_fused_loss(loss, self.num_models, self.reduction)
+
+    def _per_model_loss(self, prob: Tensor, target) -> list:
+        tgt = target.data if isinstance(target, Tensor) else np.asarray(target)
+        return [F.binary_cross_entropy(prob[b], tgt[b], self.reduction)
+                for b in range(self.num_models)]

@@ -1,0 +1,88 @@
+"""Horizontally fused activations (paper Table 6, ReLU / ReLU6 / LeakyReLU / Tanh rows).
+
+Elementwise activations are trivially fusable: applying one activation to the
+fused tensor is identical to applying ``B`` activations to the per-model
+tensors.  The fused classes exist so that fused model definitions read the
+same as the originals (and so partial fusion can swap them for per-model
+versions uniformly).
+"""
+
+from __future__ import annotations
+
+from ...nn import functional as F
+from ...nn.modules.module import Module
+from ...nn.tensor import Tensor
+
+__all__ = ["ReLU", "ReLU6", "LeakyReLU", "Tanh", "Sigmoid", "GELU",
+           "Hardswish", "Hardsigmoid", "Softmax", "LogSoftmax"]
+
+
+class _FusedActivation(Module):
+    def __init__(self, num_models: int):
+        super().__init__()
+        self.num_models = num_models
+
+    def extra_repr(self) -> str:
+        return f"B={self.num_models}"
+
+
+class ReLU(_FusedActivation):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class ReLU6(_FusedActivation):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu6(x)
+
+
+class LeakyReLU(_FusedActivation):
+    def __init__(self, num_models: int, negative_slope: float = 0.01):
+        super().__init__(num_models)
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+
+class Tanh(_FusedActivation):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Sigmoid(_FusedActivation):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class GELU(_FusedActivation):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class Hardswish(_FusedActivation):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.hardswish(x)
+
+
+class Hardsigmoid(_FusedActivation):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.hardsigmoid(x)
+
+
+class Softmax(_FusedActivation):
+    def __init__(self, num_models: int, dim: int = -1):
+        super().__init__(num_models)
+        self.dim = dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softmax(x, axis=self.dim)
+
+
+class LogSoftmax(_FusedActivation):
+    def __init__(self, num_models: int, dim: int = -1):
+        super().__init__(num_models)
+        self.dim = dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.log_softmax(x, axis=self.dim)

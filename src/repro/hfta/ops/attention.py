@@ -1,0 +1,116 @@
+"""Horizontally fused attention layers.
+
+Appendix B of the paper states that, on top of the per-operator fusion rules,
+HFTA also ships a fused multi-head attention layer and a fused Transformer
+encoder layer so that attention-based models (Transformer-LM, BERT) can be
+fused end-to-end.  These are straightforward compositions of the fused
+``Linear`` and ``LayerNorm`` operators: every projection becomes a batched
+GEMM over the array dimension ``B`` and the attention math itself is
+independent per model because the array dimension is carried as an extra
+batch axis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ...nn import functional as F
+from ...nn.modules.module import Module
+from ...nn.tensor import Tensor
+from .activation import GELU, ReLU
+from .dropout import Dropout
+from .linear import Linear
+from .norm import LayerNorm
+
+__all__ = ["MultiheadAttention", "TransformerEncoderLayer"]
+
+
+class MultiheadAttention(Module):
+    """``B`` fused multi-head self-attention layers.
+
+    Input/output layout: ``[B, N, L, E]`` (array dim, batch, sequence,
+    embedding).
+    """
+
+    def __init__(self, num_models: int, embed_dim: int, num_heads: int,
+                 dropout: float = 0.0, generator=None):
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError("embed_dim must be divisible by num_heads")
+        self.num_models = num_models
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.q_proj = Linear(num_models, embed_dim, embed_dim, generator=generator)
+        self.k_proj = Linear(num_models, embed_dim, embed_dim, generator=generator)
+        self.v_proj = Linear(num_models, embed_dim, embed_dim, generator=generator)
+        self.out_proj = Linear(num_models, embed_dim, embed_dim, generator=generator)
+        self.dropout = Dropout(num_models, dropout) if dropout > 0 else None
+
+    def forward(self, query: Tensor, key: Optional[Tensor] = None,
+                value: Optional[Tensor] = None,
+                attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        key = query if key is None else key
+        value = query if value is None else value
+        b, n, lq, e = query.shape
+        lk = key.shape[2]
+        h, d = self.num_heads, self.head_dim
+
+        q = self.q_proj(query).reshape(b, n, lq, h, d).permute(0, 1, 3, 2, 4)
+        k = self.k_proj(key).reshape(b, n, lk, h, d).permute(0, 1, 3, 2, 4)
+        v = self.v_proj(value).reshape(b, n, lk, h, d).permute(0, 1, 3, 2, 4)
+
+        scores = q.matmul(k.permute(0, 1, 2, 4, 3)) * (1.0 / math.sqrt(d))
+        if attn_mask is not None:
+            scores = scores + Tensor(attn_mask.astype(np.float32))
+        attn = F.softmax(scores, axis=-1)
+        if self.dropout is not None:
+            attn = self.dropout(attn)
+        out = attn.matmul(v)  # [B, N, H, Lq, D]
+        out = out.permute(0, 1, 3, 2, 4).reshape(b, n, lq, e)
+        return self.out_proj(out)
+
+    def extra_repr(self) -> str:
+        return (f"B={self.num_models}, embed_dim={self.embed_dim}, "
+                f"num_heads={self.num_heads}")
+
+
+class TransformerEncoderLayer(Module):
+    """``B`` fused post-norm Transformer encoder layers.
+
+    Input/output layout: ``[B, N, L, E]``.
+    """
+
+    def __init__(self, num_models: int, d_model: int, nhead: int,
+                 dim_feedforward: int = 2048, dropout: float = 0.1,
+                 activation: str = "relu", generator=None):
+        super().__init__()
+        self.num_models = num_models
+        self.self_attn = MultiheadAttention(num_models, d_model, nhead,
+                                            dropout, generator)
+        self.linear1 = Linear(num_models, d_model, dim_feedforward,
+                              generator=generator)
+        self.linear2 = Linear(num_models, dim_feedforward, d_model,
+                              generator=generator)
+        self.norm1 = LayerNorm(num_models, d_model)
+        self.norm2 = LayerNorm(num_models, d_model)
+        self.dropout = Dropout(num_models, dropout) if dropout > 0 else None
+        if activation == "relu":
+            self.activation = ReLU(num_models)
+        elif activation == "gelu":
+            self.activation = GELU(num_models)
+        else:
+            raise ValueError(f"unsupported activation: {activation}")
+
+    def forward(self, x: Tensor, attn_mask: Optional[np.ndarray] = None) -> Tensor:
+        attn_out = self.self_attn(x, attn_mask=attn_mask)
+        if self.dropout is not None:
+            attn_out = self.dropout(attn_out)
+        x = self.norm1(x + attn_out)
+        ff = self.linear2(self.activation(self.linear1(x)))
+        if self.dropout is not None:
+            ff = self.dropout(ff)
+        return self.norm2(x + ff)

@@ -1,0 +1,63 @@
+"""Horizontally fused dropout (paper Table 6, Dropout / Dropout2d rows).
+
+Dropout is stateless and elementwise, so fusion only requires that each
+model's activations receive an *independent* mask — which is automatic when
+one mask is drawn over the whole fused tensor.  ``Dropout2d`` additionally
+zeroes whole feature maps; in the channel-folded layout each model owns a
+disjoint block of channels, so a single channel-wise mask over ``B*C``
+channels is again equivalent to ``B`` independent ``Dropout2d`` ops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...nn import functional as F
+from ...nn.modules.module import Module
+from ...nn.tensor import Tensor
+
+__all__ = ["Dropout", "Dropout2d"]
+
+
+class Dropout(Module):
+    """``B`` fused elementwise dropout layers (any fused layout)."""
+
+    def __init__(self, num_models: int, p: float = 0.5,
+                 generator: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.num_models = num_models
+        self.p = p
+        self.generator = generator
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self.generator)
+
+    def extra_repr(self) -> str:
+        return f"B={self.num_models}, p={self.p}"
+
+
+class Dropout2d(Module):
+    """``B`` fused ``Dropout2d`` layers over channel-folded ``[N, B*C, H, W]``."""
+
+    def __init__(self, num_models: int, p: float = 0.5,
+                 generator: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.num_models = num_models
+        self.p = p
+        self.generator = generator
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[1] % self.num_models != 0:
+            raise ValueError(
+                f"fused Dropout2d expects the channel dim ({x.shape[1]}) to "
+                f"be divisible by B={self.num_models}")
+        return F.dropout2d(x, self.p, self.training, self.generator)
+
+    def extra_repr(self) -> str:
+        return f"B={self.num_models}, p={self.p}"

@@ -1,0 +1,176 @@
+"""Operator factory: write a model once, run it unfused or fused.
+
+The HFTA paper stresses that enabling fusion should require changing only a
+few lines of a PyTorch-native training script (Figure 2: the AlexNet model
+definition stays the same, only the operator classes are swapped).  The
+:class:`OpsLibrary` below reproduces that workflow: a model definition asks
+the library for ``Conv2d`` / ``Linear`` / ... constructors, and the library
+hands back either the plain serial classes from :mod:`repro.nn` (when
+``num_models`` is ``None``) or the horizontally fused classes from
+:mod:`repro.hfta.ops` with the array size bound (when ``num_models`` is an
+integer).
+
+It also provides the small set of layout helpers a model needs when it mixes
+convolutional stages (channel-folded fused layout ``[N, B*C, ...]``) with
+fully connected stages (batched fused layout ``[B, N, F]``).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ... import nn
+from ...nn.tensor import Tensor, cat, stack
+from . import (activation, attention, conv, dropout, embedding, linear, norm,
+               pooling)
+from .utils import batch_to_channel, channel_to_batch, fuse_batch, fuse_channel
+
+__all__ = ["OpsLibrary"]
+
+_SERIAL_CLASSES = {
+    "Conv1d": nn.Conv1d, "Conv2d": nn.Conv2d,
+    "ConvTranspose1d": nn.ConvTranspose1d, "ConvTranspose2d": nn.ConvTranspose2d,
+    "Linear": nn.Linear,
+    "BatchNorm1d": nn.BatchNorm1d, "BatchNorm2d": nn.BatchNorm2d,
+    "LayerNorm": nn.LayerNorm, "Embedding": nn.Embedding,
+    "MaxPool2d": nn.MaxPool2d, "MaxPool1d": nn.MaxPool1d,
+    "AvgPool2d": nn.AvgPool2d, "AdaptiveAvgPool2d": nn.AdaptiveAvgPool2d,
+    "Dropout": nn.Dropout, "Dropout2d": nn.Dropout2d,
+    "ReLU": nn.ReLU, "ReLU6": nn.ReLU6, "LeakyReLU": nn.LeakyReLU,
+    "Tanh": nn.Tanh, "Sigmoid": nn.Sigmoid, "GELU": nn.GELU,
+    "Hardswish": nn.Hardswish, "Hardsigmoid": nn.Hardsigmoid,
+    "Softmax": nn.Softmax, "LogSoftmax": nn.LogSoftmax,
+    "MultiheadAttention": nn.MultiheadAttention,
+    "TransformerEncoderLayer": nn.TransformerEncoderLayer,
+}
+
+_FUSED_CLASSES = {
+    "Conv1d": conv.Conv1d, "Conv2d": conv.Conv2d,
+    "ConvTranspose1d": conv.ConvTranspose1d,
+    "ConvTranspose2d": conv.ConvTranspose2d,
+    "Linear": linear.Linear,
+    "BatchNorm1d": norm.BatchNorm1d, "BatchNorm2d": norm.BatchNorm2d,
+    "LayerNorm": norm.LayerNorm, "Embedding": embedding.Embedding,
+    "MaxPool2d": pooling.MaxPool2d, "MaxPool1d": pooling.MaxPool1d,
+    "AvgPool2d": pooling.AvgPool2d,
+    "AdaptiveAvgPool2d": pooling.AdaptiveAvgPool2d,
+    "Dropout": dropout.Dropout, "Dropout2d": dropout.Dropout2d,
+    "ReLU": activation.ReLU, "ReLU6": activation.ReLU6,
+    "LeakyReLU": activation.LeakyReLU, "Tanh": activation.Tanh,
+    "Sigmoid": activation.Sigmoid, "GELU": activation.GELU,
+    "Hardswish": activation.Hardswish, "Hardsigmoid": activation.Hardsigmoid,
+    "Softmax": activation.Softmax, "LogSoftmax": activation.LogSoftmax,
+    "MultiheadAttention": attention.MultiheadAttention,
+    "TransformerEncoderLayer": attention.TransformerEncoderLayer,
+}
+
+
+class OpsLibrary:
+    """Hands out serial or fused operator constructors.
+
+    Parameters
+    ----------
+    num_models:
+        ``None`` (or 0) for an unfused, per-job model; an integer ``B >= 1``
+        for a horizontally fused array of ``B`` models.
+    """
+
+    def __init__(self, num_models: Optional[int] = None):
+        if num_models is not None and num_models < 1:
+            num_models = None
+        self.num_models = num_models
+
+    # ------------------------------------------------------------------ #
+    @property
+    def fused(self) -> bool:
+        return self.num_models is not None
+
+    @property
+    def B(self) -> int:
+        """Array size (1 when unfused, so arithmetic stays uniform)."""
+        return self.num_models if self.fused else 1
+
+    def __getattr__(self, name: str):
+        if name in _SERIAL_CLASSES:
+            if self.fused:
+                return functools.partial(_FUSED_CLASSES[name], self.num_models)
+            return _SERIAL_CLASSES[name]
+        raise AttributeError(f"OpsLibrary has no operator '{name}'")
+
+    # ------------------------------------------------------------------ #
+    # Layout helpers
+    # ------------------------------------------------------------------ #
+    def fuse_conv_inputs(self, inputs: Sequence[Tensor]) -> Tensor:
+        """Fuse per-model conv inputs: channel-folded when fused, identity
+        (single input expected) when unfused."""
+        inputs = list(inputs)
+        if not self.fused:
+            if len(inputs) != 1:
+                raise ValueError("unfused model takes exactly one input")
+            return inputs[0]
+        return fuse_channel(inputs)
+
+    def fuse_dense_inputs(self, inputs: Sequence[Tensor]) -> Tensor:
+        """Fuse per-model dense/sequence inputs: stacked ``[B, ...]`` when
+        fused, identity when unfused."""
+        inputs = list(inputs)
+        if not self.fused:
+            if len(inputs) != 1:
+                raise ValueError("unfused model takes exactly one input")
+            return inputs[0]
+        return fuse_batch(inputs)
+
+    def conv_to_dense(self, x: Tensor) -> Tensor:
+        """Convert conv activations to the layout the ``Linear`` family expects.
+
+        Serial: ``[N, C, ...] -> [N, C * prod(...)]``.
+        Fused:  ``[N, B*C, ...] -> [B, N, C * prod(...)]``.
+        """
+        if not self.fused:
+            return x.reshape(x.shape[0], -1)
+        per_model = channel_to_batch(x, self.num_models)  # [B, N, C, ...]
+        b, n = per_model.shape[:2]
+        return per_model.reshape(b, n, -1)
+
+    def dense_to_conv(self, x: Tensor, channels: int, *spatial: int) -> Tensor:
+        """Convert dense activations back to the conv layout.
+
+        Serial: ``[N, C*prod] -> [N, C, *spatial]``.
+        Fused:  ``[B, N, C*prod] -> [N, B*C, *spatial]``.
+        """
+        if not self.fused:
+            return x.reshape(x.shape[0], channels, *spatial)
+        b, n = x.shape[:2]
+        per_model = x.reshape(b, n, channels, *spatial)
+        return batch_to_channel(per_model)
+
+    def split_outputs(self, x: Tensor) -> List[Tensor]:
+        """Split a fused dense output ``[B, ...]`` into per-model outputs
+        (identity singleton list when unfused)."""
+        if not self.fused:
+            return [x]
+        return [x[b] for b in range(self.num_models)]
+
+    def scale_loss(self, loss: Tensor, reduction: str = "mean") -> Tensor:
+        """Apply the Appendix C loss-scaling rule (no-op when unfused)."""
+        if not self.fused or reduction != "mean":
+            return loss
+        return loss * float(self.num_models)
+
+    def generators(self, seeds: Optional[Sequence[int]] = None):
+        """Per-model RNGs (length ``B``; a single RNG when unfused)."""
+        if seeds is None:
+            seeds = list(range(self.B))
+        gens = [np.random.default_rng(int(s)) for s in seeds]
+        if not self.fused:
+            return gens[0]
+        if len(gens) != self.num_models:
+            raise ValueError("need one seed per fused model")
+        return gens
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = f"fused(B={self.num_models})" if self.fused else "serial"
+        return f"OpsLibrary({mode})"

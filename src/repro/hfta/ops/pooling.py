@@ -1,0 +1,96 @@
+"""Horizontally fused pooling layers (paper Table 6, MaxPool2d / AdaptiveAvgPool2d rows).
+
+Pooling is parameter-free and operates independently per channel, so ``B``
+pooling operators over ``[N, C, ...]`` fuse into one pooling operator over
+the channel-folded ``[N, B*C, ...]`` layout without any transformation.  The
+fused modules below only add array-dimension bookkeeping and input
+validation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from ...nn import functional as F
+from ...nn.modules.module import Module
+from ...nn.tensor import Tensor
+
+__all__ = ["MaxPool2d", "MaxPool1d", "AvgPool2d", "AdaptiveAvgPool2d"]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class _FusedPool(Module):
+    def __init__(self, num_models: int):
+        super().__init__()
+        self.num_models = num_models
+
+    def _validate(self, x: Tensor) -> None:
+        if x.shape[1] % self.num_models != 0:
+            raise ValueError(
+                f"fused pooling expects the channel dim ({x.shape[1]}) to be "
+                f"divisible by B={self.num_models}")
+
+    def extra_repr(self) -> str:
+        return f"B={self.num_models}"
+
+
+class MaxPool2d(_FusedPool):
+    """``B`` fused ``MaxPool2d`` over channel-folded ``[N, B*C, H, W]``."""
+
+    def __init__(self, num_models: int, kernel_size: IntPair,
+                 stride: Optional[IntPair] = None, padding: IntPair = 0):
+        super().__init__(num_models)
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._validate(x)
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class MaxPool1d(_FusedPool):
+    """``B`` fused ``MaxPool1d`` over channel-folded ``[N, B*C, L]``."""
+
+    def __init__(self, num_models: int, kernel_size: int,
+                 stride: Optional[int] = None, padding: int = 0):
+        super().__init__(num_models)
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._validate(x)
+        n, c, length = x.shape
+        out = F.max_pool2d(x.reshape(n, c, 1, length), (1, self.kernel_size),
+                           (1, self.stride), (0, self.padding))
+        n_, c_, _, l_ = out.shape
+        return out.reshape(n_, c_, l_)
+
+
+class AvgPool2d(_FusedPool):
+    """``B`` fused ``AvgPool2d`` over channel-folded ``[N, B*C, H, W]``."""
+
+    def __init__(self, num_models: int, kernel_size: IntPair,
+                 stride: Optional[IntPair] = None, padding: IntPair = 0):
+        super().__init__(num_models)
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._validate(x)
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AdaptiveAvgPool2d(_FusedPool):
+    """``B`` fused ``AdaptiveAvgPool2d`` over channel-folded ``[N, B*C, H, W]``."""
+
+    def __init__(self, num_models: int, output_size: IntPair):
+        super().__init__(num_models)
+        self.output_size = output_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        self._validate(x)
+        return F.adaptive_avg_pool2d(x, self.output_size)

@@ -1,0 +1,19 @@
+"""Horizontally fused optimizers and LR schedulers.
+
+Fused optimizers update ``[B, ...]``-shaped fused parameters with per-model
+hyper-parameter *vectors*, replacing ``B`` scalar-vector operations by one
+broadcasted vector-vector operation (paper Section 3, "HFTA Optimizers and
+Learning Rate Schedulers").
+"""
+
+from .optimizer import FusedOptimizer
+from .adam import Adam, AdamW
+from .adadelta import Adadelta
+from .sgd import SGD
+from .lr_scheduler import (FusedLRScheduler, StepLR, ExponentialLR,
+                           CosineAnnealingLR)
+from .utils import coerce_hyperparam, broadcastable
+
+__all__ = ["FusedOptimizer", "Adam", "AdamW", "Adadelta", "SGD",
+           "FusedLRScheduler", "StepLR", "ExponentialLR", "CosineAnnealingLR",
+           "coerce_hyperparam", "broadcastable"]

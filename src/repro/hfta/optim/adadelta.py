@@ -1,0 +1,47 @@
+"""Horizontally fused Adadelta optimizer (paper Section 3 names Adadelta as a
+supported fused optimizer)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from ...nn.tensor import Tensor
+from .optimizer import FusedOptimizer
+
+__all__ = ["Adadelta"]
+
+HyperParam = Union[float, Sequence[float], np.ndarray]
+
+
+class Adadelta(FusedOptimizer):
+    """Fused Adadelta with per-model ``lr`` / ``rho`` / ``eps`` / ``weight_decay``."""
+
+    _vector_hyperparams = ("lr", "rho", "eps", "weight_decay")
+
+    def __init__(self, params: Iterable[Tensor], num_models: int,
+                 lr: HyperParam = 1.0, rho: HyperParam = 0.9,
+                 eps: HyperParam = 1e-6, weight_decay: HyperParam = 0.0):
+        defaults = dict(lr=lr, rho=rho, eps=eps, weight_decay=weight_decay)
+        super().__init__(params, num_models, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                lr = self._hyper(group, "lr", p)
+                rho = self._hyper(group, "rho", p)
+                eps = self._hyper(group, "eps", p)
+                wd = self._hyper(group, "weight_decay", p)
+                grad = p.grad + wd * p.data
+                st = self._get_state(p)
+                if not st:
+                    st["square_avg"] = np.zeros_like(p.data)
+                    st["acc_delta"] = np.zeros_like(p.data)
+                st["square_avg"] = rho * st["square_avg"] + (1 - rho) * grad * grad
+                std = np.sqrt(st["square_avg"] + eps)
+                delta = np.sqrt(st["acc_delta"] + eps) / std * grad
+                st["acc_delta"] = rho * st["acc_delta"] + (1 - rho) * delta * delta
+                p.data -= (lr * delta).astype(p.data.dtype, copy=False)

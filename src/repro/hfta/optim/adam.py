@@ -1,0 +1,86 @@
+"""Horizontally fused Adam optimizer.
+
+Equivalent to ``B`` independent :class:`repro.optim.Adam` instances, one per
+fused model, each possibly with its own learning rate, betas and weight
+decay — but executed as a handful of broadcasted array operations over the
+``[B, ...]``-shaped fused parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+from ...nn.tensor import Tensor
+from .optimizer import FusedOptimizer
+from .utils import coerce_hyperparam
+
+__all__ = ["Adam", "AdamW"]
+
+HyperParam = Union[float, Sequence[float], np.ndarray]
+
+
+class Adam(FusedOptimizer):
+    """Fused Adam with per-model ``lr`` / ``betas`` / ``eps`` / ``weight_decay``.
+
+    ``betas`` may be a pair of scalars or a pair of length-``B`` vectors
+    (``beta1`` and ``beta2`` are tracked separately so that each can be tuned
+    per model, as in the paper's HFHT workloads — Table 12 tunes ``Adam's
+    beta1`` and ``beta2`` independently).
+    """
+
+    _vector_hyperparams = ("lr", "beta1", "beta2", "eps", "weight_decay")
+    decoupled_weight_decay = False
+
+    def __init__(self, params: Iterable[Tensor], num_models: int,
+                 lr: HyperParam = 1e-3,
+                 betas: Tuple[HyperParam, HyperParam] = (0.9, 0.999),
+                 eps: HyperParam = 1e-8, weight_decay: HyperParam = 0.0):
+        defaults = dict(lr=lr, beta1=betas[0], beta2=betas[1], eps=eps,
+                        weight_decay=weight_decay)
+        super().__init__(params, num_models, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                lr = self._hyper(group, "lr", p)
+                beta1 = self._hyper(group, "beta1", p)
+                beta2 = self._hyper(group, "beta2", p)
+                eps = self._hyper(group, "eps", p)
+                wd = self._hyper(group, "weight_decay", p)
+                grad = p.grad
+                if not self.decoupled_weight_decay:
+                    grad = grad + wd * p.data
+                st = self._get_state(p)
+                if not st:
+                    st["step"] = 0
+                    st["exp_avg"] = np.zeros_like(p.data)
+                    st["exp_avg_sq"] = np.zeros_like(p.data)
+                st["step"] += 1
+                t = st["step"]
+                st["exp_avg"] = beta1 * st["exp_avg"] + (1 - beta1) * grad
+                st["exp_avg_sq"] = (beta2 * st["exp_avg_sq"]
+                                    + (1 - beta2) * grad * grad)
+                bias1 = 1 - beta1 ** t
+                bias2 = 1 - beta2 ** t
+                denom = np.sqrt(st["exp_avg_sq"] / bias2) + eps
+                update = lr * (st["exp_avg"] / bias1) / denom
+                if self.decoupled_weight_decay:
+                    update = update + lr * wd * p.data
+                p.data -= update.astype(p.data.dtype, copy=False)
+
+
+class AdamW(Adam):
+    """Fused Adam with decoupled weight decay."""
+
+    decoupled_weight_decay = True
+
+    def __init__(self, params: Iterable[Tensor], num_models: int,
+                 lr: HyperParam = 1e-3,
+                 betas: Tuple[HyperParam, HyperParam] = (0.9, 0.999),
+                 eps: HyperParam = 1e-8, weight_decay: HyperParam = 0.01):
+        super().__init__(params, num_models, lr=lr, betas=betas, eps=eps,
+                         weight_decay=weight_decay)

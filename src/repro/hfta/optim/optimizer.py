@@ -1,0 +1,129 @@
+"""Base class for horizontally fused optimizers.
+
+A fused optimizer manages parameters whose *leading dimension is the array
+dimension* ``B`` (one slice per fused model) and hyper-parameters that are
+per-model vectors of length ``B``.  The update rule of the underlying
+optimizer is executed once on the whole ``[B, ...]`` array with the
+hyper-parameter vectors broadcast along the array dimension, which is
+mathematically identical to running ``B`` independent optimizers — but in a
+handful of large vectorized operations instead of ``B`` small ones.
+
+Partial fusion (paper Appendix H.4) is supported through *unfused parameter
+groups*: parameters that belong to a single model ``b`` (because their block
+was not fused) can be registered with ``model_index=b`` and are updated with
+that model's scalar hyper-parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ...nn.tensor import Tensor
+from .utils import broadcastable, coerce_hyperparam
+
+__all__ = ["FusedOptimizer"]
+
+
+class FusedOptimizer:
+    """Base class holding fused parameter groups and per-model state."""
+
+    #: names of hyper-parameters that are per-model vectors
+    _vector_hyperparams: Sequence[str] = ("lr",)
+
+    def __init__(self, params: Iterable[Tensor], num_models: int,
+                 defaults: Dict):
+        params = list(params)
+        if len(params) == 0:
+            raise ValueError("optimizer got an empty parameter list")
+        if num_models < 1:
+            raise ValueError(f"num_models must be >= 1, got {num_models}")
+        self.num_models = num_models
+        self.defaults = dict(defaults)
+        self.param_groups: List[Dict] = []
+        self.state: Dict[int, Dict] = {}
+        if isinstance(params[0], dict):
+            for group in params:
+                self.add_param_group(dict(defaults, **group))
+        else:
+            self.add_param_group(dict(defaults, params=params))
+
+    # ------------------------------------------------------------------ #
+    def add_param_group(self, group: Dict) -> None:
+        """Register a group of fused parameters (leading dim must be ``B``)."""
+        group = dict(self.defaults, **group)
+        group.setdefault("model_index", None)
+        for name in self._vector_hyperparams:
+            if name in group:
+                group[name] = coerce_hyperparam(group[name], self.num_models,
+                                                name)
+        for p in group["params"]:
+            if group["model_index"] is None and p.shape[0] != self.num_models:
+                raise ValueError(
+                    f"fused parameter must have leading dim B={self.num_models}; "
+                    f"got shape {p.shape}.  For unfused (partial-fusion) "
+                    f"parameters pass model_index explicitly.")
+        self.param_groups.append(group)
+
+    def add_unfused_param_group(self, params: Iterable[Tensor],
+                                model_index: int, **overrides) -> None:
+        """Register parameters that belong to a single (unfused) model.
+
+        Used for partial fusion: blocks that were left unfused keep one
+        parameter set per model, updated with that model's scalar
+        hyper-parameters (entry ``model_index`` of each vector).
+        """
+        if not 0 <= model_index < self.num_models:
+            raise ValueError(f"model_index must be in [0, {self.num_models})")
+        group = dict(self.defaults, **overrides)
+        group["params"] = list(params)
+        group["model_index"] = model_index
+        for name in self._vector_hyperparams:
+            if name in group:
+                group[name] = coerce_hyperparam(group[name], self.num_models,
+                                                name)
+        self.param_groups.append(group)
+
+    # ------------------------------------------------------------------ #
+    def zero_grad(self) -> None:
+        for group in self.param_groups:
+            for p in group["params"]:
+                p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _get_state(self, param: Tensor) -> Dict:
+        st = self.state.get(id(param))
+        if st is None:
+            st = {}
+            self.state[id(param)] = st
+        return st
+
+    def _hyper(self, group: Dict, name: str, param: Tensor) -> np.ndarray:
+        """Return hyper-parameter ``name`` shaped to broadcast against ``param``.
+
+        For fused groups this is a ``[B, 1, ..., 1]`` column; for unfused
+        (partial-fusion) groups it is the scalar belonging to the group's
+        ``model_index``.
+        """
+        vector = group[name]
+        if group["model_index"] is not None:
+            return np.asarray(vector[group["model_index"]])
+        return broadcastable(vector, param.shape)
+
+    @property
+    def lr(self) -> np.ndarray:
+        """Per-model learning-rate vector of the first parameter group."""
+        return self.param_groups[0]["lr"]
+
+    def state_dict(self) -> Dict:
+        return {
+            "num_models": self.num_models,
+            "param_groups": [
+                {k: (v.copy() if isinstance(v, np.ndarray) else v)
+                 for k, v in g.items() if k != "params"}
+                for g in self.param_groups
+            ],
+        }

@@ -1,0 +1,49 @@
+"""Horizontally fused SGD optimizer (with per-model momentum / weight decay)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from ...nn.tensor import Tensor
+from .optimizer import FusedOptimizer
+
+__all__ = ["SGD"]
+
+HyperParam = Union[float, Sequence[float], np.ndarray]
+
+
+class SGD(FusedOptimizer):
+    """Fused SGD with per-model ``lr`` / ``momentum`` / ``weight_decay``."""
+
+    _vector_hyperparams = ("lr", "momentum", "weight_decay")
+
+    def __init__(self, params: Iterable[Tensor], num_models: int,
+                 lr: HyperParam = 0.01, momentum: HyperParam = 0.0,
+                 weight_decay: HyperParam = 0.0, nesterov: bool = False):
+        defaults = dict(lr=lr, momentum=momentum, weight_decay=weight_decay,
+                        nesterov=nesterov)
+        super().__init__(params, num_models, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            nesterov = group["nesterov"]
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                lr = self._hyper(group, "lr", p)
+                momentum = self._hyper(group, "momentum", p)
+                wd = self._hyper(group, "weight_decay", p)
+                grad = p.grad + wd * p.data
+                use_momentum = np.any(np.asarray(group["momentum"]) != 0.0)
+                if use_momentum:
+                    st = self._get_state(p)
+                    buf = st.get("momentum_buffer")
+                    if buf is None:
+                        buf = grad.copy()
+                    else:
+                        buf = momentum * buf + grad
+                    st["momentum_buffer"] = buf
+                    grad = grad + momentum * buf if nesterov else buf
+                p.data -= (lr * grad).astype(p.data.dtype, copy=False)

@@ -1,0 +1,174 @@
+"""Higher-level analyses on top of the sharing simulator.
+
+These functions compute exactly the derived quantities the paper reports in
+its tables: peak-throughput speedups of HFTA over each baseline (Table 5 and
+Table 8), maximum speedups at an equal number of co-resident models
+(Table 9), AMP-over-FP32 speedups (Table 10), and the normalized-throughput
+curves behind Figures 4, 5, 15 and 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .devices import DeviceSpec
+from .sharing import SharingResult, max_models, simulate, throughput_sweep
+from .workloads import WorkloadSpec
+
+__all__ = ["normalized_curve", "peak_throughput", "peak_speedups",
+           "equal_models_speedups", "amp_over_fp32_speedups",
+           "baseline_modes", "partial_fusion_iteration_time",
+           "RESNET18_BLOCK_PREFIXES"]
+
+#: map from ResNet-18 fusible block names (repro.models.RESNET18_BLOCK_NAMES)
+#: to the kernel-name prefixes those blocks own in the ``resnet18`` workload
+RESNET18_BLOCK_PREFIXES = {
+    "stem": ("stem",),
+    "layer1.0": ("layer0.0",), "layer1.1": ("layer0.1",),
+    "layer2.0": ("layer1.0",), "layer2.1": ("layer1.1",),
+    "layer3.0": ("layer2.0",), "layer3.1": ("layer2.1",),
+    "layer4.0": ("layer3.0",), "layer4.1": ("layer3.1",),
+    "fc": ("fc", "adadelta"),
+}
+
+
+def baseline_modes(device: DeviceSpec) -> List[str]:
+    """The baselines available on ``device`` (MIG only on A100, none on TPU)."""
+    if device.kind == "tpu":
+        return ["serial"]
+    modes = ["serial", "concurrent", "mps"]
+    if device.mig_max_instances > 0:
+        modes.append("mig")
+    return modes
+
+
+def normalized_curve(workload: WorkloadSpec, device: DeviceSpec, mode: str,
+                     precision: str, reference_throughput: float,
+                     max_jobs: Optional[int] = None) -> List[Tuple[int, float]]:
+    """(num_models, normalized throughput) points for one Figure 4 curve."""
+    sweep = throughput_sweep(workload, device, mode, precision, max_jobs)
+    return [(r.num_jobs, r.throughput / reference_throughput) for r in sweep]
+
+
+def serial_reference(workload: WorkloadSpec, device: DeviceSpec,
+                     precision: str = "fp32") -> float:
+    """The throughput every curve is normalized by: one FP32 serial job."""
+    return simulate(workload, device, "serial", 1, precision).throughput
+
+
+def peak_throughput(workload: WorkloadSpec, device: DeviceSpec, mode: str,
+                    precision: str) -> Tuple[float, int]:
+    """Highest whole-device throughput over the number of co-resident jobs.
+
+    Returns ``(throughput, num_jobs_at_peak)``.  Note that for the
+    process-based schemes the peak is *not* necessarily at the memory limit:
+    host-resource contention can make throughput decrease with more jobs
+    (paper Section 5.1, third observation), so we take the max over the
+    sweep, matching the paper's Table 8 footnote.
+    """
+    sweep = throughput_sweep(workload, device, mode, precision)
+    if not sweep:
+        return 0.0, 0
+    best = max(sweep, key=lambda r: r.throughput)
+    return best.throughput, best.num_jobs
+
+
+def peak_speedups(workload: WorkloadSpec, device: DeviceSpec,
+                  precision: Optional[str] = None) -> Dict[str, float]:
+    """HFTA peak-throughput speedup over each baseline (Tables 5 and 8).
+
+    When ``precision`` is ``None`` the better of FP32 and AMP is used for
+    each scheme independently, matching Table 5's "the higher throughput
+    between FP32 and AMP is used".
+    """
+    precisions = [precision] if precision else ["fp32", "amp"]
+
+    def best(mode: str) -> float:
+        return max(peak_throughput(workload, device, mode, p)[0]
+                   for p in precisions)
+
+    hfta = best("hfta")
+    out: Dict[str, float] = {}
+    for mode in baseline_modes(device):
+        base = best(mode)
+        out[mode] = hfta / base if base > 0 else float("inf")
+    return out
+
+
+def equal_models_speedups(workload: WorkloadSpec, device: DeviceSpec,
+                          precision: str) -> Dict[str, float]:
+    """Max HFTA speedup over each baseline at the *same* number of models
+    (Table 9) — isolates the utilization benefit from the memory benefit."""
+    out: Dict[str, float] = {}
+    hfta_sweep = {r.num_jobs: r.throughput
+                  for r in throughput_sweep(workload, device, "hfta", precision)}
+    for mode in baseline_modes(device):
+        if mode == "serial":
+            continue
+        ratios = []
+        for r in throughput_sweep(workload, device, mode, precision):
+            if r.num_jobs in hfta_sweep and r.throughput > 0:
+                ratios.append(hfta_sweep[r.num_jobs] / r.throughput)
+        if ratios:
+            out[mode] = max(ratios)
+    return out
+
+
+def amp_over_fp32_speedups(workload: WorkloadSpec,
+                           device: DeviceSpec) -> Dict[str, float]:
+    """Max AMP-over-FP32 throughput speedup per scheme (Table 10).
+
+    For every scheme except ``serial`` the maximum is taken over the number
+    of co-resident models; ``serial`` always runs one model.
+    """
+    out: Dict[str, float] = {}
+    for mode in baseline_modes(device) + ["hfta"]:
+        if mode == "serial":
+            fp32 = simulate(workload, device, mode, 1, "fp32").throughput
+            amp = simulate(workload, device, mode, 1, "amp").throughput
+            out[mode] = amp / fp32 if fp32 > 0 else float("nan")
+            continue
+        fp32_sweep = {r.num_jobs: r.throughput
+                      for r in throughput_sweep(workload, device, mode, "fp32")}
+        amp_sweep = {r.num_jobs: r.throughput
+                     for r in throughput_sweep(workload, device, mode, "amp")}
+        ratios = [amp_sweep[b] / fp32_sweep[b]
+                  for b in amp_sweep if b in fp32_sweep and fp32_sweep[b] > 0]
+        if ratios:
+            out[mode] = max(ratios)
+    return out
+
+
+def partial_fusion_iteration_time(workload: WorkloadSpec, device: DeviceSpec,
+                                  fused_blocks, block_prefixes,
+                                  num_models: int,
+                                  precision: str = "amp") -> float:
+    """Iteration time of ``num_models`` models with only some blocks fused.
+
+    This is the cost-model counterpart of the paper's Figure 17 study
+    (Appendix H.4): kernels belonging to a fused block execute once as a
+    ``B``-times-larger kernel; kernels of an unfused block execute ``B``
+    times at their original size.
+    """
+    from .sharing import _job_profile
+
+    fused_blocks = set(fused_blocks)
+    default_block = next(iter(block_prefixes))
+    fused_kernels, unfused_kernels = [], []
+    for kernel in workload.kernels:
+        block = next((blk for blk, prefixes in block_prefixes.items()
+                      if any(kernel.name.startswith(p) for p in prefixes)),
+                     default_block)
+        if block in fused_blocks:
+            fused_kernels.append(kernel.fused(num_models))
+        else:
+            unfused_kernels.extend([kernel] * num_models)
+    total = 0.0
+    if fused_kernels:
+        total += _job_profile(fused_kernels, device, precision)["total"]
+    if unfused_kernels:
+        total += _job_profile(unfused_kernels, device, precision)["total"]
+    return total

@@ -1,0 +1,235 @@
+"""Kernel descriptors and the per-kernel analytical cost model.
+
+A training iteration is represented as a list of :class:`KernelSpec` —
+one entry per device kernel (forward GEMM, backward-data GEMM,
+backward-weight GEMM, elementwise/normalization kernels, optimizer update).
+Each kernel is characterized by:
+
+* ``flops``        — floating point operations,
+* ``bytes``        — device-memory traffic (reads + writes),
+* ``parallelism``  — independent output work items (what determines how many
+  SMs / how much of the systolic array the kernel can fill),
+* ``is_gemm``      — whether the kernel maps onto GEMM hardware (tensor cores
+  on GPUs, MXUs on TPUs) when mixed precision is enabled.
+
+The cost of a kernel on a device is the max of its compute time and memory
+time, each discounted by a *saturation* factor that grows with the kernel's
+parallel work — small kernels cannot fill a large accelerator, which is the
+root cause of the under-utilization the paper measures (Appendix A) and the
+effect HFTA exploits: a fused kernel has ``B`` times the parallel work of the
+original, so its saturation factor (and therefore its achieved share of peak
+throughput) is much higher, while its launch overhead is paid only once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Sequence
+
+from .devices import DeviceSpec
+
+__all__ = ["KernelSpec", "KernelCost", "kernel_cost", "gemm_kernel",
+           "conv2d_kernels", "conv1d_kernels", "linear_kernels",
+           "elementwise_kernel", "norm_kernels", "optimizer_kernels"]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One device kernel of a training iteration."""
+
+    name: str
+    flops: float
+    bytes: float
+    parallelism: float
+    is_gemm: bool = False
+    #: fraction of the device's tensor-core peak this kernel's implementation
+    #: can reach under mixed precision.  1.0 for well-tiled GEMMs; much lower
+    #: for shapes cuDNN maps poorly onto tensor cores (e.g. DCGAN's 4x4
+    #: strided (de)convolutions — the paper observes AMP barely helps DCGAN).
+    tc_gain: float = 1.0
+
+    def fused(self, num_models: int) -> "KernelSpec":
+        """The horizontally fused version of this kernel for ``B`` models.
+
+        Work and traffic scale by ``B``; crucially the *parallelism* also
+        scales by ``B`` (the fused grouped-conv / batched-GEMM has ``B`` times
+        the output elements) while the kernel count does not change.
+        """
+        return replace(self, flops=self.flops * num_models,
+                       bytes=self.bytes * num_models,
+                       parallelism=self.parallelism * num_models)
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """The modelled execution profile of one kernel on one device."""
+
+    time_s: float            # wall-clock time including launch overhead
+    busy_time_s: float       # time the execution units are actually busy
+    compute_utilization: float   # fraction of peak compute achieved while busy
+    memory_utilization: float    # fraction of peak bandwidth achieved while busy
+    tensor_core_active: float    # fraction of the kernel time TCs are active
+    is_compute_bound: bool
+
+
+def _saturation(work: float, half_point: float) -> float:
+    """Smoothly increasing utilization factor in ``(0, 1)``.
+
+    ``work == half_point`` gives 0.5; the curve is the standard
+    ``work / (work + half_point)`` saturating form, which captures both the
+    linear small-kernel regime (utilization proportional to parallel work)
+    and the plateau at full occupancy.
+    """
+    if work <= 0:
+        return 0.0
+    return work / (work + half_point)
+
+
+def kernel_cost(kernel: KernelSpec, device: DeviceSpec,
+                precision: str = "fp32") -> KernelCost:
+    """Model one kernel's execution time and utilization on ``device``."""
+    launch_s = device.kernel_launch_us * 1e-6
+
+    # --- compute pipe ---------------------------------------------------
+    fp32_util = _saturation(kernel.parallelism, device.sat_work_fp32)
+    # The XLA compiler pads small tensor dimensions up to the systolic-array
+    # tile size, wasting a fraction of the compute that shrinks as the
+    # operands grow (this is what makes the paper's serial TPU baselines weak
+    # and HFTA's speedups super-linear on DCGAN).
+    padding = 0.0
+    if device.kind == "tpu" and device.xla_padding_overhead > 0:
+        padding = device.xla_padding_overhead * (1.0 - fp32_util) * 4.0
+    effective_flops = kernel.flops * (1.0 + padding)
+    fp32_time = (effective_flops
+                 / max(device.fp32_tflops * 1e12 * fp32_util, 1.0))
+    tc_allowed = (kernel.is_gemm and precision == "amp" and
+                  device.tensor_tflops > 0 and device.supports_amp)
+    if tc_allowed:
+        tc_util = _saturation(kernel.parallelism, device.sat_work_tc)
+        tc_rate = device.tensor_tflops * 1e12 * kernel.tc_gain * tc_util
+        tc_time = effective_flops / max(tc_rate, 1.0)
+    else:
+        tc_util, tc_time = 0.0, float("inf")
+    # The framework picks the faster implementation (TC vs FP32 CUDA cores).
+    use_tc = tc_allowed and tc_time < fp32_time
+    compute_time = tc_time if use_tc else fp32_time
+    compute_util = tc_util if use_tc else fp32_util
+
+    # --- memory pipe ----------------------------------------------------
+    mem_util = _saturation(kernel.bytes, device.sat_bytes)
+    bytes_amp = kernel.bytes * (0.6 if precision == "amp" else 1.0)
+    memory_time = bytes_amp / max(device.mem_bw_gbps * 1e9 * mem_util, 1.0)
+
+    busy = max(compute_time, memory_time)
+    is_compute_bound = compute_time >= memory_time
+    tc_active = compute_util if (use_tc and is_compute_bound) else (
+        compute_util * compute_time / busy if use_tc else 0.0)
+    return KernelCost(
+        time_s=busy + launch_s,
+        busy_time_s=busy,
+        compute_utilization=compute_util,
+        memory_utilization=mem_util,
+        tensor_core_active=tc_active,
+        is_compute_bound=is_compute_bound,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Kernel constructors for the common layer types
+# --------------------------------------------------------------------- #
+def gemm_kernel(name: str, m: float, n: float, k: float,
+                extra_bytes: float = 0.0, tc_gain: float = 1.0) -> KernelSpec:
+    """A single GEMM: ``[m, k] @ [k, n]`` (2*m*n*k flops)."""
+    flops = 2.0 * m * n * k
+    bytes_ = 4.0 * (m * k + k * n + m * n) + extra_bytes
+    return KernelSpec(name=name, flops=flops, bytes=bytes_,
+                      parallelism=m * n, is_gemm=True, tc_gain=tc_gain)
+
+
+def conv2d_kernels(name: str, batch: int, c_in: int, c_out: int,
+                   h_out: int, w_out: int, kh: int, kw: int,
+                   groups: int = 1, backward: bool = True,
+                   tc_gain: float = 1.0) -> List[KernelSpec]:
+    """Forward (and optionally backward) kernels of one Conv2d layer.
+
+    A (grouped) convolution is a GEMM per group with
+    ``M = batch*h_out*w_out``, ``N = c_out/groups``, ``K = (c_in/groups)*kh*kw``;
+    the parallelism (output elements) is ``batch*h_out*w_out*c_out`` which is
+    *independent of groups* — this is why fusing ``B`` convolutions into a
+    grouped convolution with ``B`` times the channels genuinely offers the
+    hardware ``B`` times more parallel work.
+    """
+    m = batch * h_out * w_out
+    n = c_out
+    k = (c_in / groups) * kh * kw
+    fwd_flops = 2.0 * m * n * k
+    act_bytes = 4.0 * m * (c_in + c_out)
+    weight_bytes = 4.0 * c_out * (c_in / groups) * kh * kw
+    kernels = [KernelSpec(f"{name}.fwd", fwd_flops, act_bytes + weight_bytes,
+                          parallelism=m * n, is_gemm=True, tc_gain=tc_gain)]
+    if backward:
+        kernels.append(KernelSpec(f"{name}.bwd_data", fwd_flops,
+                                  act_bytes + weight_bytes,
+                                  parallelism=m * c_in, is_gemm=True,
+                                  tc_gain=tc_gain))
+        # The weight-gradient GEMM reduces over the batch/spatial dimension;
+        # cuBLAS/cuDNN recover parallelism with split-K, so the parallel work
+        # is comparable to the forward GEMM's rather than to the (often tiny)
+        # filter size.
+        kernels.append(KernelSpec(f"{name}.bwd_weight", fwd_flops,
+                                  act_bytes + weight_bytes,
+                                  parallelism=max(n * k, m * n / 8),
+                                  is_gemm=True, tc_gain=tc_gain))
+    return kernels
+
+
+def conv1d_kernels(name: str, batch: int, c_in: int, c_out: int, l_out: int,
+                   kernel: int, groups: int = 1, backward: bool = True,
+                   tc_gain: float = 1.0) -> List[KernelSpec]:
+    """Conv1d is a height-1 Conv2d."""
+    return conv2d_kernels(name, batch, c_in, c_out, 1, l_out, 1, kernel,
+                          groups, backward, tc_gain)
+
+
+def linear_kernels(name: str, batch: int, in_features: int, out_features: int,
+                   backward: bool = True) -> List[KernelSpec]:
+    """Forward/backward kernels of one Linear layer."""
+    kernels = [gemm_kernel(f"{name}.fwd", batch, out_features, in_features)]
+    if backward:
+        kernels.append(gemm_kernel(f"{name}.bwd_data", batch, in_features,
+                                   out_features))
+        wgrad = gemm_kernel(f"{name}.bwd_weight", out_features, in_features,
+                            batch)
+        # split-K parallelism for the reduction over the batch dimension
+        wgrad = KernelSpec(wgrad.name, wgrad.flops, wgrad.bytes,
+                           parallelism=max(wgrad.parallelism,
+                                           batch * out_features / 8),
+                           is_gemm=True)
+        kernels.append(wgrad)
+    return kernels
+
+
+def elementwise_kernel(name: str, elements: float,
+                       flops_per_element: float = 1.0,
+                       bytes_per_element: float = 8.0) -> KernelSpec:
+    """A memory-bound elementwise kernel (activation, add, dropout, ...)."""
+    return KernelSpec(name=name, flops=elements * flops_per_element,
+                      bytes=elements * bytes_per_element,
+                      parallelism=elements, is_gemm=False)
+
+
+def norm_kernels(name: str, elements: float,
+                 backward: bool = True) -> List[KernelSpec]:
+    """Batch/layer-norm forward (+backward) kernels (memory bound)."""
+    kernels = [elementwise_kernel(f"{name}.fwd", elements, 4.0, 12.0)]
+    if backward:
+        kernels.append(elementwise_kernel(f"{name}.bwd", elements, 6.0, 16.0))
+    return kernels
+
+
+def optimizer_kernels(name: str, num_parameters: float,
+                      state_tensors: int = 2) -> List[KernelSpec]:
+    """Optimizer update kernels (Adam reads/writes param + ``state_tensors``)."""
+    bytes_per_param = 4.0 * (2 + 2 * state_tensors)
+    return [elementwise_kernel(f"{name}.step", num_parameters, 6.0,
+                               bytes_per_param)]

@@ -1,0 +1,34 @@
+"""The paper's benchmark models, each buildable unfused or as an HFTA array.
+
+Major benchmarks (Section 4):
+    * :class:`PointNetCls` / :class:`PointNetSeg` — memory-bound point-cloud
+      classification / part segmentation (ShapeNet part).
+    * :class:`DCGAN` — compute-bound GAN on LSUN-like 64x64 images.
+
+Secondary benchmarks (Appendix H.1):
+    * :class:`ResNet18` (CIFAR-10) — also used for convergence validation and
+      the partial-fusion study.
+    * :class:`MobileNetV3Large` (CIFAR-10).
+    * :class:`TransformerLM` (WikiText-2-like).
+    * :class:`BertMaskedLM` (BERT-Medium, WikiText-2-like).
+
+Every constructor takes ``num_models``: ``None`` builds the ordinary
+(per-job) model, an integer ``B`` builds the horizontally fused array.
+"""
+
+from .pointnet import TNet, PointNetFeatures, PointNetCls, PointNetSeg
+from .dcgan import DCGANGenerator, DCGANDiscriminator, DCGAN
+from .resnet import BasicBlock, ResNet18, RESNET18_BLOCK_NAMES
+from .mobilenet import (MobileNetV3Large, InvertedResidual, SqueezeExcite,
+                        MOBILENET_V3_LARGE_CONFIG)
+from .transformer import TransformerLM
+from .bert import BertConfig, BertMaskedLM
+
+__all__ = [
+    "TNet", "PointNetFeatures", "PointNetCls", "PointNetSeg",
+    "DCGANGenerator", "DCGANDiscriminator", "DCGAN",
+    "BasicBlock", "ResNet18", "RESNET18_BLOCK_NAMES",
+    "MobileNetV3Large", "InvertedResidual", "SqueezeExcite",
+    "MOBILENET_V3_LARGE_CONFIG",
+    "TransformerLM", "BertConfig", "BertMaskedLM",
+]

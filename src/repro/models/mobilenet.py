@@ -1,0 +1,183 @@
+"""MobileNetV3-Large (Howard et al., 2019) — secondary benchmark.
+
+MobileNetV3 is built from inverted-residual bottleneck blocks with depthwise
+convolutions, optional squeeze-and-excitation (SE), and hard-swish
+activations.  It exercises HFTA's grouped-convolution fusion rule in its most
+interesting corner: the depthwise convolutions already use ``groups = C``, so
+their fused counterparts run with ``groups = B * C`` — still a single
+operator.
+
+A ``width`` multiplier and a reduced input resolution keep the unit tests
+fast; the hardware-simulator workloads use the full configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..hfta.ops.factory import OpsLibrary
+from ..nn.tensor import Tensor
+
+__all__ = ["MobileNetV3Large", "InvertedResidual", "SqueezeExcite",
+           "MOBILENET_V3_LARGE_CONFIG"]
+
+
+class BlockConfig(NamedTuple):
+    """One inverted-residual block row of the MobileNetV3-Large table."""
+    kernel: int
+    expanded: int
+    out: int
+    use_se: bool
+    use_hs: bool
+    stride: int
+
+
+#: the MobileNetV3-Large block table (Howard et al., 2019, Table 1)
+MOBILENET_V3_LARGE_CONFIG: List[BlockConfig] = [
+    BlockConfig(3, 16, 16, False, False, 1),
+    BlockConfig(3, 64, 24, False, False, 2),
+    BlockConfig(3, 72, 24, False, False, 1),
+    BlockConfig(5, 72, 40, True, False, 2),
+    BlockConfig(5, 120, 40, True, False, 1),
+    BlockConfig(5, 120, 40, True, False, 1),
+    BlockConfig(3, 240, 80, False, True, 2),
+    BlockConfig(3, 200, 80, False, True, 1),
+    BlockConfig(3, 184, 80, False, True, 1),
+    BlockConfig(3, 184, 80, False, True, 1),
+    BlockConfig(3, 480, 112, True, True, 1),
+    BlockConfig(3, 672, 112, True, True, 1),
+    BlockConfig(5, 672, 160, True, True, 2),
+    BlockConfig(5, 960, 160, True, True, 1),
+    BlockConfig(5, 960, 160, True, True, 1),
+]
+
+
+def _scale_channels(channels: int, width: float, divisor: int = 8) -> int:
+    """Width-multiplier rounding used by the MobileNet family."""
+    scaled = max(divisor, int(channels * width + divisor / 2) // divisor * divisor)
+    if scaled < 0.9 * channels * width:
+        scaled += divisor
+    return int(scaled)
+
+
+class SqueezeExcite(nn.Module):
+    """Squeeze-and-excitation: global pooling -> bottleneck MLP -> channel gate."""
+
+    def __init__(self, lib: OpsLibrary, channels: int, reduction: int = 4,
+                 generator=None):
+        super().__init__()
+        squeezed = max(8, channels // reduction)
+        self.pool = lib.AdaptiveAvgPool2d(1)
+        self.fc1 = lib.Conv2d(channels, squeezed, 1, generator=generator)
+        self.fc2 = lib.Conv2d(squeezed, channels, 1, generator=generator)
+        self.relu = lib.ReLU()
+        self.gate = lib.Hardsigmoid()
+
+    def forward(self, x: Tensor) -> Tensor:
+        scale = self.pool(x)
+        scale = self.relu(self.fc1(scale))
+        scale = self.gate(self.fc2(scale))
+        return x * scale
+
+
+class InvertedResidual(nn.Module):
+    """MobileNetV3 bottleneck: expand (1x1) -> depthwise -> [SE] -> project (1x1)."""
+
+    def __init__(self, lib: OpsLibrary, in_channels: int, cfg: BlockConfig,
+                 width: float = 1.0, generator=None):
+        super().__init__()
+        self.lib = lib
+        expanded = _scale_channels(cfg.expanded, width)
+        out_channels = _scale_channels(cfg.out, width)
+        self.use_residual = cfg.stride == 1 and in_channels == out_channels
+        act = lib.Hardswish if cfg.use_hs else lib.ReLU
+
+        layers: List[nn.Module] = []
+        if expanded != in_channels:
+            layers += [lib.Conv2d(in_channels, expanded, 1, bias=False,
+                                  generator=generator),
+                       lib.BatchNorm2d(expanded), act()]
+        layers += [lib.Conv2d(expanded, expanded, cfg.kernel, stride=cfg.stride,
+                              padding=cfg.kernel // 2, groups=expanded,
+                              bias=False, generator=generator),
+                   lib.BatchNorm2d(expanded), act()]
+        if cfg.use_se:
+            layers.append(SqueezeExcite(lib, expanded, generator=generator))
+        layers += [lib.Conv2d(expanded, out_channels, 1, bias=False,
+                              generator=generator),
+                   lib.BatchNorm2d(out_channels)]
+        self.block = nn.Sequential(*layers)
+        self.out_channels = out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.block(x)
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class MobileNetV3Large(nn.Module):
+    """MobileNetV3-Large classifier (CIFAR-style input by default).
+
+    Output: logits ``[N, num_classes]`` unfused, ``[B, N, num_classes]``
+    fused.
+    """
+
+    def __init__(self, num_classes: int = 10, num_models: Optional[int] = None,
+                 width: float = 1.0, config: Optional[Sequence[BlockConfig]] = None,
+                 dropout: float = 0.2, generator=None):
+        super().__init__()
+        self.lib = OpsLibrary(num_models)
+        lib = self.lib
+        self.num_classes = num_classes
+        config = list(config) if config is not None else MOBILENET_V3_LARGE_CONFIG
+
+        stem_channels = _scale_channels(16, width)
+        self.stem = nn.Sequential(
+            lib.Conv2d(3, stem_channels, 3, stride=1, padding=1, bias=False,
+                       generator=generator),
+            lib.BatchNorm2d(stem_channels),
+            lib.Hardswish(),
+        )
+        blocks: List[nn.Module] = []
+        in_channels = stem_channels
+        for cfg in config:
+            block = InvertedResidual(lib, in_channels, cfg, width, generator)
+            blocks.append(block)
+            in_channels = block.out_channels
+        self.blocks = nn.Sequential(*blocks)
+
+        last_conv = _scale_channels(960, width) if config is MOBILENET_V3_LARGE_CONFIG \
+            else max(64, in_channels * 6)
+        self.head_conv = nn.Sequential(
+            lib.Conv2d(in_channels, last_conv, 1, bias=False,
+                       generator=generator),
+            lib.BatchNorm2d(last_conv),
+            lib.Hardswish(),
+        )
+        self.pool = lib.AdaptiveAvgPool2d(1)
+        classifier_hidden = _scale_channels(1280, width) if width >= 1.0 else max(64, last_conv)
+        self.classifier_hidden = lib.Linear(last_conv, classifier_hidden,
+                                            generator=generator)
+        self.classifier_act = lib.Hardswish()
+        self.classifier_dropout = lib.Dropout(dropout) if dropout > 0 else None
+        self.classifier_out = lib.Linear(classifier_hidden, num_classes,
+                                         generator=generator)
+        self._last_conv = last_conv
+
+    def fuse_inputs(self, images: Sequence[Tensor]) -> Tensor:
+        return self.lib.fuse_conv_inputs(images)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.stem(x)
+        h = self.blocks(h)
+        h = self.head_conv(h)
+        h = self.pool(h)
+        dense = self.lib.conv_to_dense(h)
+        h = self.classifier_act(self.classifier_hidden(dense))
+        if self.classifier_dropout is not None:
+            h = self.classifier_dropout(h)
+        return self.classifier_out(h)

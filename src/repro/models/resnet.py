@@ -1,0 +1,231 @@
+"""ResNet-18 (He et al., 2016) — secondary benchmark and the model used for the
+paper's convergence validation (Figure 11) and partial-fusion study (Figure 17).
+
+The CIFAR-style variant is used (3x3 stem, no initial max-pool), matching the
+paper's ResNet-18-on-CIFAR-10 setup.  Three build modes are supported:
+
+* **unfused** (``num_models=None``) — one ordinary model;
+* **fully fused** (``num_models=B``) — every block is an HFTA fused block;
+* **partially fused** (``num_models=B`` plus a ``fusion_mask``) — the paper's
+  Figure 17 experiment: each of the 10 blocks (stem conv, 8 basic blocks,
+  final linear) can individually be left unfused, in which case ``B``
+  per-model replicas of that block are executed sequentially with layout
+  conversion at the boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..hfta.ops.factory import OpsLibrary
+from ..hfta.ops.utils import fuse_channel, unfuse_channel
+from ..nn.tensor import Tensor
+
+__all__ = ["BasicBlock", "ResNet18", "RESNET18_BLOCK_NAMES"]
+
+#: the fusible units of ResNet-18, in execution order (Figure 17's x-axis)
+RESNET18_BLOCK_NAMES = (
+    "stem",
+    "layer1.0", "layer1.1",
+    "layer2.0", "layer2.1",
+    "layer3.0", "layer3.1",
+    "layer4.0", "layer4.1",
+    "fc",
+)
+
+
+class BasicBlock(nn.Module):
+    """The standard two-convolution residual block."""
+
+    expansion = 1
+
+    def __init__(self, lib: OpsLibrary, in_planes: int, planes: int,
+                 stride: int = 1, generator=None):
+        super().__init__()
+        self.lib = lib
+        self.conv1 = lib.Conv2d(in_planes, planes, 3, stride=stride, padding=1,
+                                bias=False, generator=generator)
+        self.bn1 = lib.BatchNorm2d(planes)
+        self.conv2 = lib.Conv2d(planes, planes, 3, stride=1, padding=1,
+                                bias=False, generator=generator)
+        self.bn2 = lib.BatchNorm2d(planes)
+        self.relu = lib.ReLU()
+        self.downsample = None
+        if stride != 1 or in_planes != planes * self.expansion:
+            self.downsample = nn.Sequential(
+                lib.Conv2d(in_planes, planes * self.expansion, 1,
+                           stride=stride, bias=False, generator=generator),
+                lib.BatchNorm2d(planes * self.expansion),
+            )
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        if self.downsample is not None:
+            identity = self.downsample(x)
+        return self.relu(out + identity)
+
+
+class _UnfusedReplicas(nn.Module):
+    """``B`` per-model replicas of a block, executed sequentially.
+
+    Used for the partial-fusion study: the fused (channel-folded) activations
+    are split back into per-model tensors, each replica processes its own
+    model's activations, and the outputs are re-fused.  This is exactly what
+    "turning off the horizontal fusion of a block" means in Figure 17 — the
+    work still happens, but as ``B`` small operators instead of one large
+    one.
+    """
+
+    def __init__(self, replicas: Sequence[nn.Module]):
+        super().__init__()
+        self.replicas = nn.ModuleList(replicas)
+
+    def forward(self, x: Tensor) -> Tensor:
+        num_models = len(self.replicas)
+        pieces = unfuse_channel(x, num_models)
+        outs = [block(piece) for block, piece in zip(self.replicas, pieces)]
+        return fuse_channel(outs)
+
+
+class ResNet18(nn.Module):
+    """CIFAR-style ResNet-18 with optional horizontal fusion / partial fusion.
+
+    Parameters
+    ----------
+    num_classes:
+        Output classes (10 for the CIFAR-10 stand-in).
+    num_models:
+        ``None`` for an unfused model, ``B`` for an HFTA array.
+    width:
+        Channel multiplier (1.0 = the standard 64/128/256/512 trunk); tests
+        use small widths to stay fast.
+    fusion_mask:
+        Optional mapping or sequence aligned with
+        :data:`RESNET18_BLOCK_NAMES`; ``True`` means that block is fused.
+        Ignored when ``num_models`` is ``None``.  Default: all fused.
+    """
+
+    def __init__(self, num_classes: int = 10, num_models: Optional[int] = None,
+                 width: float = 1.0, fusion_mask: Optional[Sequence[bool]] = None,
+                 generator=None):
+        super().__init__()
+        self.lib = OpsLibrary(num_models)
+        self.num_classes = num_classes
+        self.width = width
+        planes = [max(8, int(64 * width)), max(8, int(128 * width)),
+                  max(16, int(256 * width)), max(16, int(512 * width))]
+        self._planes = planes
+
+        mask = self._normalize_mask(fusion_mask)
+        self.fusion_mask = mask
+
+        gen = generator
+        self.stem = self._maybe_fused(
+            "stem", lambda lib: nn.Sequential(
+                lib.Conv2d(3, planes[0], 3, stride=1, padding=1, bias=False,
+                           generator=gen),
+                lib.BatchNorm2d(planes[0]),
+                lib.ReLU()), gen)
+
+        in_planes = planes[0]
+        layers: List[nn.Module] = []
+        strides = [(planes[0], 1), (planes[1], 2), (planes[2], 2), (planes[3], 2)]
+        block_idx = 1
+        for layer_i, (p, first_stride) in enumerate(strides, start=1):
+            for sub in range(2):
+                stride = first_stride if sub == 0 else 1
+                name = RESNET18_BLOCK_NAMES[block_idx]
+                current_in = in_planes
+                layers.append(self._maybe_fused(
+                    name,
+                    lambda lib, ci=current_in, pp=p, st=stride:
+                        BasicBlock(lib, ci, pp, st, gen),
+                    gen))
+                in_planes = p
+                block_idx += 1
+        self.layers = nn.Sequential(*layers)
+        self.avgpool = self.lib.AdaptiveAvgPool2d(1)
+        self._fc_fused = mask[-1] or not self.lib.fused
+        if self._fc_fused:
+            self.fc = self.lib.Linear(planes[3], num_classes, generator=gen)
+        else:
+            self.fc = nn.ModuleList([
+                nn.Linear(planes[3], num_classes, generator=gen)
+                for _ in range(self.lib.num_models)])
+
+    # ------------------------------------------------------------------ #
+    def _normalize_mask(self, fusion_mask) -> List[bool]:
+        n = len(RESNET18_BLOCK_NAMES)
+        if fusion_mask is None:
+            return [True] * n
+        if isinstance(fusion_mask, dict):
+            return [bool(fusion_mask.get(name, True))
+                    for name in RESNET18_BLOCK_NAMES]
+        mask = [bool(v) for v in fusion_mask]
+        if len(mask) != n:
+            raise ValueError(f"fusion_mask must have {n} entries "
+                             f"({RESNET18_BLOCK_NAMES})")
+        return mask
+
+    def _maybe_fused(self, name: str, builder, generator) -> nn.Module:
+        """Build block ``name`` fused or as B unfused replicas per the mask."""
+        fused = self.fusion_mask[RESNET18_BLOCK_NAMES.index(name)]
+        if not self.lib.fused or fused:
+            return builder(self.lib)
+        serial_lib = OpsLibrary(None)
+        replicas = [builder(serial_lib) for _ in range(self.lib.num_models)]
+        return _UnfusedReplicas(replicas)
+
+    @property
+    def num_fused_blocks(self) -> int:
+        """How many of the 10 blocks are horizontally fused (Figure 17 x-axis)."""
+        if not self.lib.fused:
+            return 0
+        return sum(self.fusion_mask)
+
+    def fuse_inputs(self, images: Sequence[Tensor]) -> Tensor:
+        return self.lib.fuse_conv_inputs(images)
+
+    def parameter_groups(self):
+        """Split parameters for the fused optimizers under partial fusion.
+
+        Returns ``(fused_params, per_model_params)`` where ``fused_params``
+        all carry the leading array dimension ``B`` and ``per_model_params``
+        maps each model index to the parameters of its unfused block
+        replicas.  With full fusion the second element is empty.
+        """
+        per_model = {b: [] for b in range(self.lib.B)}
+        unfused_ids = set()
+        for module in self.modules():
+            if isinstance(module, _UnfusedReplicas):
+                for b, replica in enumerate(module.replicas):
+                    params = list(replica.parameters())
+                    per_model[b].extend(params)
+                    unfused_ids.update(id(p) for p in params)
+        if not self._fc_fused and self.lib.fused:
+            for b, head in enumerate(self.fc):
+                params = list(head.parameters())
+                per_model[b].extend(params)
+                unfused_ids.update(id(p) for p in params)
+        fused = [p for p in self.parameters() if id(p) not in unfused_ids]
+        per_model = {b: ps for b, ps in per_model.items() if ps}
+        return fused, per_model
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.stem(x)
+        h = self.layers(h)
+        h = self.avgpool(h)
+        if self._fc_fused:
+            dense = self.lib.conv_to_dense(h)  # [N, C] or [B, N, C]
+            return self.fc(dense)
+        # partial fusion with an unfused head: split per model
+        pieces = unfuse_channel(h, self.lib.num_models)
+        outs = [fc(piece.reshape(piece.shape[0], -1))
+                for fc, piece in zip(self.fc, pieces)]
+        return nn.stack(outs, axis=0)  # [B, N, num_classes]

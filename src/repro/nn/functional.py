@@ -1,0 +1,540 @@
+"""Functional (stateless) neural-network operations.
+
+This module implements the differentiable building blocks that the module
+layer (:mod:`repro.nn.modules`) and the HFTA fused operators
+(:mod:`repro.hfta.ops`) are built from:
+
+* grouped 1-D / 2-D convolutions and 2-D transposed convolutions (im2col),
+* pooling (max, adaptive average),
+* normalization (batch norm, layer norm),
+* embeddings,
+* activations,
+* dropout,
+* softmax / log-softmax and the common loss functions.
+
+Grouped convolution support is the linchpin of the HFTA reproduction: the
+paper's key observation is that horizontally fusing ``B`` independent
+``Conv2d`` operators of identical shape is mathematically equivalent to a
+single grouped convolution with ``B x G`` groups (Appendix B, Table 6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, _accumulate, _make_out, is_grad_enabled
+
+__all__ = [
+    "conv2d", "conv1d", "conv_transpose2d", "linear", "baddbmm", "bmm",
+    "max_pool2d", "adaptive_avg_pool2d", "avg_pool2d",
+    "batch_norm", "layer_norm", "embedding", "dropout",
+    "relu", "relu6", "leaky_relu", "tanh", "sigmoid", "gelu", "hardswish",
+    "hardsigmoid", "softmax", "log_softmax",
+    "cross_entropy", "nll_loss", "mse_loss", "binary_cross_entropy",
+    "binary_cross_entropy_with_logits",
+]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+# --------------------------------------------------------------------- #
+# im2col / col2im helpers
+# --------------------------------------------------------------------- #
+def _im2col_indices(x_shape, kh, kw, stride, padding, dilation=(1, 1)):
+    """Return gather indices (k, i, j) for im2col on an NCHW tensor."""
+    n, c, h, w = x_shape
+    sh, sw = stride
+    ph, pw = padding
+    dh, dw = dilation
+    out_h = (h + 2 * ph - dh * (kh - 1) - 1) // sh + 1
+    out_w = (w + 2 * pw - dw * (kw - 1) - 1) // sw + 1
+
+    i0 = np.repeat(np.arange(kh) * dh, kw)
+    i0 = np.tile(i0, c)
+    i1 = sh * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw) * dw, kh * c)
+    j1 = sw * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return (k, i, j), out_h, out_w
+
+
+def _im2col(x: np.ndarray, kh, kw, stride, padding, dilation=(1, 1)):
+    """Convert an NCHW array into column form [N, C*kh*kw, out_h*out_w]."""
+    ph, pw = padding
+    x_padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+    (k, i, j), out_h, out_w = _im2col_indices(x.shape, kh, kw, stride, padding,
+                                              dilation)
+    cols = x_padded[:, k, i, j]  # [N, C*kh*kw, out_h*out_w]
+    return cols, out_h, out_w
+
+
+def _col2im(cols: np.ndarray, x_shape, kh, kw, stride, padding,
+            dilation=(1, 1)) -> np.ndarray:
+    """Scatter-add column form back into an NCHW array (adjoint of im2col)."""
+    n, c, h, w = x_shape
+    ph, pw = padding
+    h_padded, w_padded = h + 2 * ph, w + 2 * pw
+    x_padded = np.zeros((n, c, h_padded, w_padded), dtype=cols.dtype)
+    (k, i, j), _, _ = _im2col_indices(x_shape, kh, kw, stride, padding,
+                                      dilation)
+    np.add.at(x_padded, (slice(None), k, i, j), cols)
+    if ph == 0 and pw == 0:
+        return x_padded
+    return x_padded[:, :, ph:h_padded - ph or None, pw:w_padded - pw or None]
+
+
+# --------------------------------------------------------------------- #
+# Convolutions
+# --------------------------------------------------------------------- #
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: IntPair = 1, padding: IntPair = 0, dilation: IntPair = 1,
+           groups: int = 1) -> Tensor:
+    """2-D convolution with grouping support.
+
+    Parameters follow ``torch.nn.functional.conv2d``:
+
+    * ``x``      — input ``[N, C_in, H, W]``
+    * ``weight`` — filters ``[C_out, C_in // groups, kH, kW]``
+    * ``bias``   — optional ``[C_out]``
+    * ``groups`` — number of blocked connections from input to output
+      channels.  ``groups == C_in`` gives a depthwise convolution; HFTA uses
+      ``groups = B * g`` to fuse ``B`` models whose original convolutions had
+      ``g`` groups.
+    """
+    stride, padding, dilation = _pair(stride), _pair(padding), _pair(dilation)
+    n, c_in, h, w = x.shape
+    c_out, c_in_per_group, kh, kw = weight.shape
+    if c_in % groups != 0 or c_out % groups != 0:
+        raise ValueError(f"channels ({c_in}, {c_out}) not divisible by groups "
+                         f"({groups})")
+    if c_in_per_group != c_in // groups:
+        raise ValueError("weight shape inconsistent with groups: expected "
+                         f"C_in/groups={c_in // groups}, got {c_in_per_group}")
+
+    cols, out_h, out_w = _im2col(x.data, kh, kw, stride, padding, dilation)
+    # cols: [N, C_in*kh*kw, L]; split channel blocks per group.
+    L = out_h * out_w
+    cols_g = cols.reshape(n, groups, c_in_per_group * kh * kw, L)
+    w_g = weight.data.reshape(groups, c_out // groups, c_in_per_group * kh * kw)
+    # out_g: [N, G, C_out/G, L]
+    out_g = np.einsum("ngkl,gok->ngol", cols_g, w_g, optimize=True)
+    out_data = out_g.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out = _make_out(out_data, parents, "conv2d")
+    if out.requires_grad:
+        def _bw(grad_out):
+            g = grad_out.reshape(n, groups, c_out // groups, L)
+            if weight.requires_grad or weight._backward is not None:
+                gw = np.einsum("ngol,ngkl->gok", g, cols_g, optimize=True)
+                _accumulate(weight, gw.reshape(weight.shape))
+            if bias is not None and (bias.requires_grad or bias._backward is not None):
+                _accumulate(bias, grad_out.sum(axis=(0, 2, 3)))
+            if x.requires_grad or x._backward is not None:
+                gcols_g = np.einsum("ngol,gok->ngkl", g, w_g, optimize=True)
+                gcols = gcols_g.reshape(n, c_in * kh * kw, L)
+                gx = _col2im(gcols, x.shape, kh, kw, stride, padding, dilation)
+                _accumulate(x, gx)
+        out._backward = _bw
+    return out
+
+
+def conv1d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: int = 0, dilation: int = 1,
+           groups: int = 1) -> Tensor:
+    """1-D convolution implemented by lifting to a height-1 2-D convolution."""
+    n, c_in, length = x.shape
+    c_out, c_in_per_group, k = weight.shape
+    x4 = x.reshape(n, c_in, 1, length)
+    w4 = weight.reshape(c_out, c_in_per_group, 1, k)
+    out = conv2d(x4, w4, bias, stride=(1, stride), padding=(0, padding),
+                 dilation=(1, dilation), groups=groups)
+    n_, c_, _, l_ = out.shape
+    return out.reshape(n_, c_, l_)
+
+
+def conv_transpose2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+                     stride: IntPair = 1, padding: IntPair = 0,
+                     output_padding: IntPair = 0, groups: int = 1) -> Tensor:
+    """2-D transposed ("de-") convolution with grouping support.
+
+    ``weight`` has shape ``[C_in, C_out // groups, kH, kW]`` (PyTorch
+    convention).  The forward pass is the adjoint of :func:`conv2d`'s forward
+    (a col2im scatter), and the backward pass correspondingly uses im2col.
+    """
+    stride, padding = _pair(stride), _pair(padding)
+    output_padding = _pair(output_padding)
+    n, c_in, h, w = x.shape
+    c_in_w, c_out_per_group, kh, kw = weight.shape
+    if c_in_w != c_in:
+        raise ValueError("conv_transpose2d weight C_in mismatch")
+    if c_in % groups != 0:
+        raise ValueError("C_in not divisible by groups")
+    c_out = c_out_per_group * groups
+    sh, sw = stride
+    ph, pw = padding
+    oph, opw = output_padding
+    out_h = (h - 1) * sh - 2 * ph + kh + oph
+    out_w = (w - 1) * sw - 2 * pw + kw + opw
+
+    L = h * w
+    x_g = x.data.reshape(n, groups, c_in // groups, L)
+    w_g = weight.data.reshape(groups, c_in // groups, c_out_per_group * kh * kw)
+    # cols: [N, G, C_out/G*kh*kw, L] -> [N, C_out*kh*kw, L]
+    cols_g = np.einsum("ngcl,gck->ngkl", x_g, w_g, optimize=True)
+    cols = cols_g.reshape(n, c_out * kh * kw, L)
+    out_shape = (n, c_out, out_h, out_w)
+    out_data = _col2im(cols, out_shape, kh, kw, stride, padding)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out = _make_out(out_data, parents, "conv_transpose2d")
+    if out.requires_grad:
+        def _bw(grad_out):
+            gcols, _, _ = _im2col(grad_out, kh, kw, stride, padding)
+            gcols_g = gcols.reshape(n, groups, c_out_per_group * kh * kw, L)
+            if x.requires_grad or x._backward is not None:
+                gx_g = np.einsum("ngkl,gck->ngcl", gcols_g, w_g, optimize=True)
+                _accumulate(x, gx_g.reshape(x.shape))
+            if weight.requires_grad or weight._backward is not None:
+                gw_g = np.einsum("ngcl,ngkl->gck", x_g, gcols_g, optimize=True)
+                _accumulate(weight, gw_g.reshape(weight.shape))
+            if bias is not None and (bias.requires_grad or bias._backward is not None):
+                _accumulate(bias, grad_out.sum(axis=(0, 2, 3)))
+        out._backward = _bw
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Linear algebra
+# --------------------------------------------------------------------- #
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``y = x @ W^T + b`` (PyTorch ``Linear`` convention).
+
+    ``weight`` has shape ``[out_features, in_features]``.
+    """
+    out = x.matmul(weight.T)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def bmm(a: Tensor, b: Tensor) -> Tensor:
+    """Batched matrix multiply: ``[B, N, K] @ [B, K, M] -> [B, N, M]``."""
+    return a.matmul(b)
+
+
+def baddbmm(bias: Tensor, a: Tensor, b: Tensor) -> Tensor:
+    """Batched matmul with additive bias: ``bias + a @ b``.
+
+    This mirrors ``torch.baddbmm`` and is the fused counterpart of ``B``
+    independent ``Linear`` layers in HFTA's fusion rules (Table 6): the
+    per-model weights are stacked into ``a``/``b`` batch dimensions and the
+    per-model biases broadcast through ``bias``.
+    """
+    return bias + a.matmul(b)
+
+
+# --------------------------------------------------------------------- #
+# Pooling
+# --------------------------------------------------------------------- #
+def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None,
+               padding: IntPair = 0) -> Tensor:
+    """2-D max pooling over an NCHW tensor."""
+    kh, kw = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else (kh, kw)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+
+    x_resh = x.data.reshape(n * c, 1, h, w)
+    cols, out_h, out_w = _im2col(x_resh, kh, kw, stride, padding)
+    # cols: [N*C, kh*kw, L]
+    idx = cols.argmax(axis=1)
+    L = out_h * out_w
+    out_data = np.take_along_axis(cols, idx[:, None, :], axis=1)[:, 0, :]
+    out_data = out_data.reshape(n, c, out_h, out_w)
+
+    out = _make_out(out_data, (x,), "max_pool2d")
+    if out.requires_grad:
+        def _bw(grad_out):
+            g = grad_out.reshape(n * c, 1, L)
+            gcols = np.zeros_like(cols)
+            np.put_along_axis(gcols, idx[:, None, :], g, axis=1)
+            gx = _col2im(gcols, x_resh.shape, kh, kw, stride, padding)
+            _accumulate(x, gx.reshape(x.shape))
+        out._backward = _bw
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel_size: IntPair,
+               stride: Optional[IntPair] = None,
+               padding: IntPair = 0) -> Tensor:
+    """2-D average pooling over an NCHW tensor."""
+    kh, kw = _pair(kernel_size)
+    stride = _pair(stride) if stride is not None else (kh, kw)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    x_resh = x.data.reshape(n * c, 1, h, w)
+    cols, out_h, out_w = _im2col(x_resh, kh, kw, stride, padding)
+    out_data = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+    out = _make_out(out_data, (x,), "avg_pool2d")
+    if out.requires_grad:
+        L = out_h * out_w
+
+        def _bw(grad_out):
+            g = grad_out.reshape(n * c, 1, L) / (kh * kw)
+            gcols = np.broadcast_to(g, cols.shape).astype(cols.dtype)
+            gx = _col2im(gcols, x_resh.shape, kh, kw, stride, padding)
+            _accumulate(x, gx.reshape(x.shape))
+        out._backward = _bw
+    return out
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: IntPair) -> Tensor:
+    """Adaptive average pooling producing an exact ``output_size`` map.
+
+    Only the common cases used by the benchmark models are required:
+    output sizes that evenly divide the input, plus global pooling ``(1, 1)``.
+    """
+    oh, ow = _pair(output_size)
+    n, c, h, w = x.shape
+    if oh == 1 and ow == 1:
+        return x.mean(axis=(2, 3), keepdims=True)
+    if h % oh != 0 or w % ow != 0:
+        raise ValueError("adaptive_avg_pool2d requires the output size to "
+                         "divide the input size in this implementation")
+    return avg_pool2d(x, kernel_size=(h // oh, w // ow),
+                      stride=(h // oh, w // ow))
+
+
+# --------------------------------------------------------------------- #
+# Normalization
+# --------------------------------------------------------------------- #
+def batch_norm(x: Tensor, running_mean: Optional[np.ndarray],
+               running_var: Optional[np.ndarray], weight: Optional[Tensor],
+               bias: Optional[Tensor], training: bool, momentum: float = 0.1,
+               eps: float = 1e-5, channel_axis: int = 1) -> Tensor:
+    """Batch normalization over all axes except ``channel_axis``.
+
+    Supports the layouts used by ``BatchNorm1d`` (``[N, C]`` / ``[N, C, L]``)
+    and ``BatchNorm2d`` (``[N, C, H, W]``).  Running statistics are plain
+    numpy arrays owned by the calling module and are updated in place when
+    ``training`` is true.
+    """
+    axes = tuple(i for i in range(x.ndim) if i != channel_axis)
+    if training or running_mean is None:
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        if running_mean is not None:
+            count = int(np.prod([x.shape[a] for a in axes]))
+            unbiased = var.data * count / max(count - 1, 1)
+            running_mean *= (1 - momentum)
+            running_mean += momentum * mean.data.reshape(-1)
+            running_var *= (1 - momentum)
+            running_var += momentum * unbiased.reshape(-1)
+    else:
+        shape = [1] * x.ndim
+        shape[channel_axis] = x.shape[channel_axis]
+        mean = Tensor(running_mean.reshape(shape))
+        var = Tensor(running_var.reshape(shape))
+
+    x_hat = (x - mean) / ((var + eps) ** 0.5)
+    if weight is not None:
+        shape = [1] * x.ndim
+        shape[channel_axis] = x.shape[channel_axis]
+        x_hat = x_hat * weight.reshape(*shape) + bias.reshape(*shape)
+    return x_hat
+
+
+def layer_norm(x: Tensor, normalized_shape: Tuple[int, ...],
+               weight: Optional[Tensor] = None, bias: Optional[Tensor] = None,
+               eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the trailing ``normalized_shape`` dims."""
+    ndims = len(normalized_shape)
+    axes = tuple(range(x.ndim - ndims, x.ndim))
+    mean = x.mean(axis=axes, keepdims=True)
+    var = x.var(axis=axes, keepdims=True)
+    x_hat = (x - mean) / ((var + eps) ** 0.5)
+    if weight is not None:
+        x_hat = x_hat * weight
+    if bias is not None:
+        x_hat = x_hat + bias
+    return x_hat
+
+
+# --------------------------------------------------------------------- #
+# Embedding
+# --------------------------------------------------------------------- #
+def embedding(indices: Union[Tensor, np.ndarray], weight: Tensor) -> Tensor:
+    """Look up rows of ``weight`` (``[num_embeddings, dim]``) by ``indices``."""
+    idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+    idx = idx.astype(np.int64)
+    out_data = weight.data[idx]
+    out = _make_out(out_data, (weight,), "embedding")
+    if out.requires_grad:
+        def _bw(grad_out):
+            gw = np.zeros_like(weight.data)
+            np.add.at(gw, idx.reshape(-1),
+                      grad_out.reshape(-1, weight.shape[-1]))
+            _accumulate(weight, gw)
+        out._backward = _bw
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Dropout
+# --------------------------------------------------------------------- #
+def dropout(x: Tensor, p: float = 0.5, training: bool = True,
+            generator: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: zero each element with probability ``p``."""
+    if not training or p <= 0.0:
+        return x
+    rng = generator if generator is not None else np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def dropout2d(x: Tensor, p: float = 0.5, training: bool = True,
+              generator: Optional[np.random.Generator] = None) -> Tensor:
+    """Channel-wise dropout for NCHW tensors (zeroes entire feature maps)."""
+    if not training or p <= 0.0:
+        return x
+    rng = generator if generator is not None else np.random.default_rng()
+    n, c = x.shape[:2]
+    mask = (rng.random((n, c) + (1,) * (x.ndim - 2)) >= p)
+    mask = mask.astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+# --------------------------------------------------------------------- #
+# Activations
+# --------------------------------------------------------------------- #
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def relu6(x: Tensor) -> Tensor:
+    return x.clamp(0.0, 6.0)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    out_data = np.where(x.data > 0, x.data, negative_slope * x.data)
+    out = _make_out(out_data, (x,), "leaky_relu")
+    if out.requires_grad:
+        scale = np.where(x.data > 0, 1.0, negative_slope).astype(x.data.dtype)
+
+        def _bw(g):
+            _accumulate(x, g * scale)
+        out._backward = _bw
+    return out
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as used by BERT)."""
+    c = math.sqrt(2.0 / math.pi)
+    inner = (x + x ** 3 * 0.044715) * c
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def hardsigmoid(x: Tensor) -> Tensor:
+    """Piecewise-linear sigmoid used by MobileNetV3: ``relu6(x + 3) / 6``."""
+    return relu6(x + 3.0) * (1.0 / 6.0)
+
+
+def hardswish(x: Tensor) -> Tensor:
+    """``x * relu6(x + 3) / 6`` — MobileNetV3's h-swish activation."""
+    return x * hardsigmoid(x)
+
+
+# --------------------------------------------------------------------- #
+# Softmax and losses
+# --------------------------------------------------------------------- #
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def nll_loss(log_probs: Tensor, target: Union[Tensor, np.ndarray],
+             reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood given log-probabilities ``[N, C]`` or ``[N, C, ...]``."""
+    tgt = target.data if isinstance(target, Tensor) else np.asarray(target)
+    tgt = tgt.astype(np.int64)
+    if log_probs.ndim > 2:
+        # [N, C, d1, ...] -> flatten the extra dims into the batch.
+        n, c = log_probs.shape[:2]
+        rest = int(np.prod(log_probs.shape[2:]))
+        lp = log_probs.reshape(n, c, rest).permute(0, 2, 1).reshape(n * rest, c)
+        tgt = tgt.reshape(n * rest)
+        return nll_loss(lp, tgt, reduction)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), tgt]
+    loss = -picked
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def cross_entropy(logits: Tensor, target: Union[Tensor, np.ndarray],
+                  reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy from raw logits."""
+    return nll_loss(log_softmax(logits, axis=1 if logits.ndim > 1 else -1),
+                    target, reduction)
+
+
+def mse_loss(pred: Tensor, target: Union[Tensor, np.ndarray],
+             reduction: str = "mean") -> Tensor:
+    tgt = target if isinstance(target, Tensor) else Tensor(target)
+    diff = (pred - tgt) ** 2
+    if reduction == "mean":
+        return diff.mean()
+    if reduction == "sum":
+        return diff.sum()
+    return diff
+
+
+def binary_cross_entropy(prob: Tensor, target: Union[Tensor, np.ndarray],
+                         reduction: str = "mean", eps: float = 1e-7) -> Tensor:
+    tgt = target if isinstance(target, Tensor) else Tensor(target)
+    p = prob.clamp(eps, 1.0 - eps)
+    loss = -(tgt * p.log() + (1.0 - tgt) * (1.0 - p).log())
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def binary_cross_entropy_with_logits(logits: Tensor,
+                                     target: Union[Tensor, np.ndarray],
+                                     reduction: str = "mean") -> Tensor:
+    return binary_cross_entropy(sigmoid(logits), target, reduction)

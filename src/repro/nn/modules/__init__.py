@@ -1,0 +1,27 @@
+"""Neural-network modules (the ``torch.nn``-style layer zoo)."""
+
+from .module import Module, Parameter
+from .container import Sequential, ModuleList, Identity
+from .conv import Conv1d, Conv2d, ConvTranspose1d, ConvTranspose2d
+from .linear import Linear
+from .norm import BatchNorm1d, BatchNorm2d, LayerNorm
+from .activation import (ReLU, ReLU6, LeakyReLU, Tanh, Sigmoid, GELU,
+                         Hardswish, Hardsigmoid, Softmax, LogSoftmax)
+from .pooling import MaxPool2d, MaxPool1d, AvgPool2d, AdaptiveAvgPool2d
+from .dropout import Dropout, Dropout2d
+from .embedding import Embedding
+from .attention import MultiheadAttention, TransformerEncoderLayer
+from .loss import (CrossEntropyLoss, NLLLoss, MSELoss, BCELoss,
+                   BCEWithLogitsLoss)
+
+__all__ = [
+    "Module", "Parameter", "Sequential", "ModuleList", "Identity",
+    "Conv1d", "Conv2d", "ConvTranspose1d", "ConvTranspose2d", "Linear",
+    "BatchNorm1d", "BatchNorm2d", "LayerNorm",
+    "ReLU", "ReLU6", "LeakyReLU", "Tanh", "Sigmoid", "GELU", "Hardswish",
+    "Hardsigmoid", "Softmax", "LogSoftmax",
+    "MaxPool2d", "MaxPool1d", "AvgPool2d", "AdaptiveAvgPool2d",
+    "Dropout", "Dropout2d", "Embedding",
+    "MultiheadAttention", "TransformerEncoderLayer",
+    "CrossEntropyLoss", "NLLLoss", "MSELoss", "BCELoss", "BCEWithLogitsLoss",
+]

@@ -1,0 +1,81 @@
+"""Activation modules (elementwise nonlinearities)."""
+
+from __future__ import annotations
+
+from .. import functional as F
+from ..tensor import Tensor
+from .module import Module
+
+__all__ = ["ReLU", "ReLU6", "LeakyReLU", "Tanh", "Sigmoid", "GELU",
+           "Hardswish", "Hardsigmoid", "Softmax", "LogSoftmax"]
+
+
+class ReLU(Module):
+    def __init__(self, inplace: bool = False):
+        super().__init__()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class ReLU6(Module):
+    def __init__(self, inplace: bool = False):
+        super().__init__()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu6(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01, inplace: bool = False):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+    def extra_repr(self) -> str:
+        return f"negative_slope={self.negative_slope}"
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class Hardswish(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.hardswish(x)
+
+
+class Hardsigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.hardsigmoid(x)
+
+
+class Softmax(Module):
+    def __init__(self, dim: int = -1):
+        super().__init__()
+        self.dim = dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softmax(x, axis=self.dim)
+
+
+class LogSoftmax(Module):
+    def __init__(self, dim: int = -1):
+        super().__init__()
+        self.dim = dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.log_softmax(x, axis=self.dim)

@@ -1,0 +1,68 @@
+"""Container modules: :class:`Sequential` and :class:`ModuleList`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Union
+
+from .module import Module
+
+__all__ = ["Sequential", "ModuleList", "Identity"]
+
+
+class Identity(Module):
+    """A no-op module; useful for disabling layers (e.g. partial fusion)."""
+
+    def forward(self, x):
+        return x
+
+
+class Sequential(Module):
+    """Chain modules so that the output of one feeds the next."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        for i, module in enumerate(modules):
+            self.add_module(str(i), module)
+
+    def forward(self, x):
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: Union[int, slice]):
+        values = list(self._modules.values())
+        if isinstance(idx, slice):
+            return Sequential(*values[idx])
+        return values[idx]
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+
+class ModuleList(Module):
+    """Hold submodules in a list (registered for parameter traversal)."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        for i, module in enumerate(modules):
+            self.add_module(str(i), module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._modules)), module)
+        return self

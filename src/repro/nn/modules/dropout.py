@@ -1,0 +1,49 @@
+"""Dropout modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..tensor import Tensor
+from .module import Module
+
+__all__ = ["Dropout", "Dropout2d"]
+
+
+class Dropout(Module):
+    """Elementwise inverted dropout."""
+
+    def __init__(self, p: float = 0.5,
+                 generator: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.generator = generator
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self.generator)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"
+
+
+class Dropout2d(Module):
+    """Channel-wise dropout for NCHW tensors."""
+
+    def __init__(self, p: float = 0.5,
+                 generator: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.generator = generator
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout2d(x, self.p, self.training, self.generator)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

@@ -1,0 +1,41 @@
+"""Embedding lookup module."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..tensor import Tensor
+from .module import Module, Parameter
+
+__all__ = ["Embedding"]
+
+
+class Embedding(Module):
+    """A simple lookup table mapping integer ids to dense vectors.
+
+    The HFTA fused counterpart offsets each model's ids by ``model_index *
+    num_embeddings`` into one concatenated table (paper Table 6, Embedding
+    row).
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 generator: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(np.empty((num_embeddings, embedding_dim),
+                                         dtype=np.float32))
+        self.reset_parameters(generator)
+
+    def reset_parameters(self, generator: Optional[np.random.Generator] = None) -> None:
+        init.normal_(self.weight, 0.0, 1.0, generator)
+
+    def forward(self, indices) -> Tensor:
+        return F.embedding(indices, self.weight)
+
+    def extra_repr(self) -> str:
+        return f"{self.num_embeddings}, {self.embedding_dim}"

@@ -1,0 +1,51 @@
+"""Loss modules (criterion objects wrapping the functional losses)."""
+
+from __future__ import annotations
+
+from .. import functional as F
+from ..tensor import Tensor
+from .module import Module
+
+__all__ = ["CrossEntropyLoss", "NLLLoss", "MSELoss", "BCELoss",
+           "BCEWithLogitsLoss"]
+
+
+class _Loss(Module):
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        if reduction not in ("mean", "sum", "none"):
+            raise ValueError(f"unsupported reduction: {reduction}")
+        self.reduction = reduction
+
+    def extra_repr(self) -> str:
+        return f"reduction={self.reduction}"
+
+
+class CrossEntropyLoss(_Loss):
+    """Softmax cross-entropy over logits ``[N, C]`` (or ``[N, C, ...]``)."""
+
+    def forward(self, logits: Tensor, target) -> Tensor:
+        return F.cross_entropy(logits, target, self.reduction)
+
+
+class NLLLoss(_Loss):
+    """Negative log-likelihood over log-probabilities."""
+
+    def forward(self, log_probs: Tensor, target) -> Tensor:
+        return F.nll_loss(log_probs, target, self.reduction)
+
+
+class MSELoss(_Loss):
+    def forward(self, pred: Tensor, target) -> Tensor:
+        return F.mse_loss(pred, target, self.reduction)
+
+
+class BCELoss(_Loss):
+    def forward(self, prob: Tensor, target) -> Tensor:
+        return F.binary_cross_entropy(prob, target, self.reduction)
+
+
+class BCEWithLogitsLoss(_Loss):
+    def forward(self, logits: Tensor, target) -> Tensor:
+        return F.binary_cross_entropy_with_logits(logits, target,
+                                                  self.reduction)

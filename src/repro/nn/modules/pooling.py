@@ -1,0 +1,70 @@
+"""Pooling modules."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from .. import functional as F
+from ..tensor import Tensor
+from .module import Module
+
+__all__ = ["MaxPool2d", "AvgPool2d", "AdaptiveAvgPool2d", "MaxPool1d"]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None,
+                 padding: IntPair = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}"
+
+
+class MaxPool1d(Module):
+    """1-D max pooling (lifted onto 2-D pooling with height 1)."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None,
+                 padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, length = x.shape
+        out = F.max_pool2d(x.reshape(n, c, 1, length), (1, self.kernel_size),
+                           (1, self.stride), (0, self.padding))
+        n_, c_, _, l_ = out.shape
+        return out.reshape(n_, c_, l_)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None,
+                 padding: IntPair = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AdaptiveAvgPool2d(Module):
+    def __init__(self, output_size: IntPair):
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.adaptive_avg_pool2d(x, self.output_size)
+
+    def extra_repr(self) -> str:
+        return f"output_size={self.output_size}"

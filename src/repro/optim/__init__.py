@@ -1,0 +1,18 @@
+"""Unfused optimizers and learning-rate schedulers.
+
+These mirror ``torch.optim`` and serve as the *serial* baselines of the
+reproduction: one optimizer instance per training job, scalar
+hyper-parameters.  The HFTA fused optimizers
+(:mod:`repro.hfta.optim`) generalize them to per-model hyper-parameter
+vectors broadcast against ``[B, ...]``-shaped fused parameters.
+"""
+
+from .optimizer import Optimizer
+from .sgd import SGD
+from .adam import Adam, AdamW
+from .adadelta import Adadelta
+from .lr_scheduler import (LRScheduler, StepLR, ExponentialLR,
+                           CosineAnnealingLR)
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "Adadelta", "LRScheduler",
+           "StepLR", "ExponentialLR", "CosineAnnealingLR"]

@@ -1,0 +1,50 @@
+"""Adadelta optimizer (Zeiler, 2012) — used by the paper's ResNet-18,
+Transformer and BERT secondary benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+from .optimizer import Optimizer
+
+__all__ = ["Adadelta"]
+
+
+class Adadelta(Optimizer):
+    """Adadelta: adapts learning rates with running averages of squared
+    gradients and squared updates."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1.0,
+                 rho: float = 0.9, eps: float = 1e-6,
+                 weight_decay: float = 0.0):
+        if lr < 0.0:
+            raise ValueError(f"invalid learning rate: {lr}")
+        if not 0.0 <= rho <= 1.0:
+            raise ValueError(f"invalid rho: {rho}")
+        defaults = dict(lr=lr, rho=rho, eps=eps, weight_decay=weight_decay)
+        super().__init__(params, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            rho = group["rho"]
+            eps = group["eps"]
+            weight_decay = group["weight_decay"]
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                grad = p.grad
+                if weight_decay != 0.0:
+                    grad = grad + weight_decay * p.data
+                st = self._get_state(p)
+                if not st:
+                    st["square_avg"] = np.zeros_like(p.data)
+                    st["acc_delta"] = np.zeros_like(p.data)
+                st["square_avg"] = rho * st["square_avg"] + (1 - rho) * grad * grad
+                std = np.sqrt(st["square_avg"] + eps)
+                delta = np.sqrt(st["acc_delta"] + eps) / std * grad
+                st["acc_delta"] = rho * st["acc_delta"] + (1 - rho) * delta * delta
+                p.data -= lr * delta

@@ -1,0 +1,76 @@
+"""Adam and AdamW optimizers (Kingma & Ba, 2015; Loshchilov & Hutter, 2019)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+from .optimizer import Optimizer
+
+__all__ = ["Adam", "AdamW"]
+
+
+class Adam(Optimizer):
+    """Adam with bias correction and optional (coupled) L2 weight decay.
+
+    Learning rate, betas and weight decay are the canonical hyper-parameters
+    tuned in the paper's HFHT workloads (Table 12), so the fused counterpart
+    (:class:`repro.hfta.optim.Adam`) accepts them as per-model vectors.
+    """
+
+    decoupled_weight_decay = False
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
+                 betas: Tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        if lr < 0.0:
+            raise ValueError(f"invalid learning rate: {lr}")
+        if not 0.0 <= betas[0] < 1.0 or not 0.0 <= betas[1] < 1.0:
+            raise ValueError(f"invalid betas: {betas}")
+        defaults = dict(lr=lr, betas=tuple(betas), eps=eps,
+                        weight_decay=weight_decay)
+        super().__init__(params, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            beta1, beta2 = group["betas"]
+            eps = group["eps"]
+            weight_decay = group["weight_decay"]
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                grad = p.grad
+                if weight_decay != 0.0 and not self.decoupled_weight_decay:
+                    grad = grad + weight_decay * p.data
+                st = self._get_state(p)
+                if not st:
+                    st["step"] = 0
+                    st["exp_avg"] = np.zeros_like(p.data)
+                    st["exp_avg_sq"] = np.zeros_like(p.data)
+                st["step"] += 1
+                t = st["step"]
+                st["exp_avg"] = beta1 * st["exp_avg"] + (1 - beta1) * grad
+                st["exp_avg_sq"] = (beta2 * st["exp_avg_sq"]
+                                    + (1 - beta2) * grad * grad)
+                bias1 = 1 - beta1 ** t
+                bias2 = 1 - beta2 ** t
+                denom = np.sqrt(st["exp_avg_sq"] / bias2) + eps
+                update = lr * (st["exp_avg"] / bias1) / denom
+                if weight_decay != 0.0 and self.decoupled_weight_decay:
+                    update = update + lr * weight_decay * p.data
+                p.data -= update
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay."""
+
+    decoupled_weight_decay = True
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
+                 betas: Tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.01):
+        super().__init__(params, lr=lr, betas=betas, eps=eps,
+                         weight_decay=weight_decay)

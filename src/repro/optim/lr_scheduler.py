@@ -1,0 +1,78 @@
+"""Learning-rate schedulers.
+
+The paper fuses LR schedulers across models (StepLR is named explicitly) so
+the serial versions here are the baselines the fused
+:mod:`repro.hfta.optim.lr_scheduler` is validated against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .optimizer import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "ExponentialLR", "CosineAnnealingLR"]
+
+
+class LRScheduler:
+    """Base class: remembers each group's initial LR and steps an epoch count."""
+
+    def __init__(self, optimizer: Optimizer, last_epoch: int = -1):
+        self.optimizer = optimizer
+        self.base_lrs: List[float] = [g["lr"] for g in optimizer.param_groups]
+        self.last_epoch = last_epoch
+        self.step()
+
+    def get_lr(self) -> List[float]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def get_last_lr(self) -> List[float]:
+        return [g["lr"] for g in self.optimizer.param_groups]
+
+    def step(self) -> None:
+        self.last_epoch += 1
+        for group, lr in zip(self.optimizer.param_groups, self.get_lr()):
+            group["lr"] = lr
+
+
+class StepLR(LRScheduler):
+    """Decay each group's LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.1, last_epoch: int = -1):
+        self.step_size = step_size
+        self.gamma = gamma
+        super().__init__(optimizer, last_epoch)
+
+    def get_lr(self) -> List[float]:
+        factor = self.gamma ** (self.last_epoch // self.step_size)
+        return [base * factor for base in self.base_lrs]
+
+
+class ExponentialLR(LRScheduler):
+    """Decay each group's LR by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float,
+                 last_epoch: int = -1):
+        self.gamma = gamma
+        super().__init__(optimizer, last_epoch)
+
+    def get_lr(self) -> List[float]:
+        return [base * self.gamma ** self.last_epoch for base in self.base_lrs]
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine annealing from the base LR down to ``eta_min`` over ``T_max``."""
+
+    def __init__(self, optimizer: Optimizer, T_max: int, eta_min: float = 0.0,
+                 last_epoch: int = -1):
+        self.T_max = T_max
+        self.eta_min = eta_min
+        super().__init__(optimizer, last_epoch)
+
+    def get_lr(self) -> List[float]:
+        t = min(self.last_epoch, self.T_max)
+        return [self.eta_min + (base - self.eta_min)
+                * (1 + math.cos(math.pi * t / self.T_max)) / 2
+                for base in self.base_lrs]

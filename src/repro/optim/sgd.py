@@ -1,0 +1,50 @@
+"""Stochastic gradient descent with optional momentum and weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+from .optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """SGD with (Nesterov or classical) momentum and L2 weight decay."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0,
+                 nesterov: bool = False):
+        if lr < 0.0:
+            raise ValueError(f"invalid learning rate: {lr}")
+        if nesterov and momentum <= 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        defaults = dict(lr=lr, momentum=momentum, weight_decay=weight_decay,
+                        nesterov=nesterov)
+        super().__init__(params, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            momentum = group["momentum"]
+            weight_decay = group["weight_decay"]
+            nesterov = group["nesterov"]
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                grad = p.grad
+                if weight_decay != 0.0:
+                    grad = grad + weight_decay * p.data
+                if momentum != 0.0:
+                    st = self._get_state(p)
+                    buf = st.get("momentum_buffer")
+                    if buf is None:
+                        buf = grad.copy()
+                    else:
+                        buf = momentum * buf + grad
+                    st["momentum_buffer"] = buf
+                    grad = grad + momentum * buf if nesterov else buf
+                p.data -= lr * grad

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for test data."""
+    return np.random.default_rng(1234)
+
+
+def numerical_gradient(fn, tensor, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``fn()`` w.r.t. ``tensor`` (float64)."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn()
+        flat[i] = original - eps
+        down = fn()
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad

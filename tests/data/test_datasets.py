@@ -1,0 +1,131 @@
+"""Tests for the synthetic datasets and the data loader."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (DataLoader, SyntheticCIFAR10, SyntheticLSUN,
+                        SyntheticShapeNetParts, SyntheticWikiText)
+
+
+class TestShapeNetParts:
+    def test_sample_shapes(self):
+        ds = SyntheticShapeNetParts(num_samples=8, num_points=64,
+                                    num_classes=4, num_parts=12)
+        points, label, segmentation = ds[0]
+        assert points.shape == (3, 64)
+        assert 0 <= label < 4
+        assert segmentation.shape == (64,)
+        assert segmentation.max() < 12
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticShapeNetParts(num_samples=4, num_points=16, seed=7)[2]
+        b = SyntheticShapeNetParts(num_samples=4, num_points=16, seed=7)[2]
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[2], b[2])
+
+    def test_class_determines_geometry(self):
+        ds = SyntheticShapeNetParts(num_samples=32, num_points=128,
+                                    num_classes=2, seed=0)
+        same_class = [ds[i][0].mean(axis=1) for i in (0, 2)]   # class 0
+        other_class = ds[1][0].mean(axis=1)                    # class 1
+        assert np.linalg.norm(same_class[0] - same_class[1]) < \
+            np.linalg.norm(same_class[0] - other_class) + 1.0
+
+    def test_index_out_of_range(self):
+        ds = SyntheticShapeNetParts(num_samples=4, num_points=8)
+        with pytest.raises(IndexError):
+            ds[10]
+
+
+class TestImagesAndText:
+    def test_lsun_images_bounded(self):
+        ds = SyntheticLSUN(num_samples=4, image_size=16)
+        img = ds[0]
+        assert img.shape == (3, 16, 16)
+        assert img.min() >= -1.0 and img.max() <= 1.0
+
+    def test_cifar_label_structure(self):
+        ds = SyntheticCIFAR10(num_samples=20, image_size=8, num_classes=10)
+        image, label = ds[3]
+        assert image.shape == (3, 8, 8)
+        assert label == 3 % 10
+
+    def test_cifar_classes_are_separable(self):
+        """Images of the same class are closer than images of other classes."""
+        ds = SyntheticCIFAR10(num_samples=40, image_size=8, noise=0.1, seed=1)
+        img0a, _ = ds[0]
+        img0b, _ = ds[10]   # same class (10 % 10 == 0)
+        img1, _ = ds[1]
+        assert np.linalg.norm(img0a - img0b) < np.linalg.norm(img0a - img1)
+
+    def test_wikitext_next_token_alignment(self):
+        ds = SyntheticWikiText(num_samples=4, seq_len=16, vocab_size=50)
+        inputs, targets = ds[0]
+        assert inputs.shape == targets.shape == (16,)
+        # target at position t is the input at position t+1
+        np.testing.assert_array_equal(inputs[1:], targets[:-1])
+
+    def test_wikitext_masked_sample(self):
+        ds = SyntheticWikiText(num_samples=4, seq_len=16, vocab_size=50,
+                               mask_prob=0.2)
+        inputs, targets, mask = ds.masked_lm_sample(1)
+        assert mask.sum() >= 1
+        masked_positions = mask.astype(bool)
+        assert np.all(inputs[masked_positions] == ds.mask_token)
+        assert np.all(inputs[~masked_positions] == targets[~masked_positions])
+
+    def test_invalid_num_samples(self):
+        with pytest.raises(ValueError):
+            SyntheticCIFAR10(num_samples=0)
+
+
+class TestDataLoader:
+    def test_batching_and_length(self):
+        ds = SyntheticCIFAR10(num_samples=25, image_size=8)
+        loader = DataLoader(ds, batch_size=8)
+        assert len(loader) == 4
+        batches = list(loader)
+        assert batches[0][0].shape == (8, 3, 8, 8)
+        assert batches[-1][0].shape == (1, 3, 8, 8)
+
+    def test_drop_last(self):
+        ds = SyntheticCIFAR10(num_samples=25, image_size=8)
+        loader = DataLoader(ds, batch_size=8, drop_last=True)
+        assert len(loader) == 3
+        assert all(x.shape[0] == 8 for x, _ in loader)
+
+    def test_shuffle_changes_order_but_not_content(self):
+        ds = SyntheticCIFAR10(num_samples=32, image_size=8)
+        plain = np.concatenate([y for _, y in DataLoader(ds, batch_size=8)])
+        shuffled = np.concatenate(
+            [y for _, y in DataLoader(ds, batch_size=8, shuffle=True, seed=3)])
+        assert not np.array_equal(plain, shuffled)
+        np.testing.assert_array_equal(np.sort(plain), np.sort(shuffled))
+
+    def test_shuffle_reshuffles_across_epochs(self):
+        ds = SyntheticCIFAR10(num_samples=32, image_size=8)
+        loader = DataLoader(ds, batch_size=32, shuffle=True, seed=0)
+        epoch1 = next(iter(loader))[1]
+        epoch2 = next(iter(loader))[1]
+        assert not np.array_equal(epoch1, epoch2)
+
+    def test_tuple_collation_types(self):
+        ds = SyntheticShapeNetParts(num_samples=6, num_points=16)
+        points, labels, seg = next(iter(DataLoader(ds, batch_size=3)))
+        assert points.dtype == np.float32
+        assert labels.dtype == np.int64
+        assert seg.shape == (3, 16)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(SyntheticCIFAR10(num_samples=4), batch_size=0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 30), st.integers(1, 10))
+def test_property_dataloader_covers_every_sample(num_samples, batch_size):
+    ds = SyntheticCIFAR10(num_samples=num_samples, image_size=4)
+    loader = DataLoader(ds, batch_size=batch_size)
+    labels = [y for _, ys in loader for y in ys]
+    assert len(labels) == num_samples

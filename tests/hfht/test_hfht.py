@@ -1,0 +1,216 @@
+"""Tests for HFHT: search spaces, partitioning, algorithms, schedulers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import hfht, hwsim
+
+
+@pytest.fixture(scope="module")
+def space():
+    return hfht.pointnet_search_space()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return hwsim.get_workload("pointnet_cls")
+
+
+class TestSearchSpace:
+    def test_paper_spaces_have_eight_hyperparameters(self):
+        assert len(hfht.pointnet_search_space()) == 8
+        assert len(hfht.mobilenet_search_space()) == 8
+
+    def test_fusible_infusible_split(self, space):
+        assert set(space.infusible_names()) == {"batch_size",
+                                                "feature_transform"}
+        assert "lr" in space.fusible_names()
+
+    def test_sampling_respects_ranges(self, space):
+        rng = np.random.default_rng(0)
+        for config in space.sample_batch(20, rng):
+            assert 1e-4 <= config["lr"] <= 1e-2
+            assert config["batch_size"] in (8, 16, 32)
+            assert isinstance(config["feature_transform"], (bool, np.bool_))
+
+    def test_log_scale_sampling_spreads_orders_of_magnitude(self):
+        hp = hfht.HyperParameter("lr", True, 1e-5, 1e-1, log_scale=True)
+        rng = np.random.default_rng(0)
+        values = [hp.sample(rng) for _ in range(200)]
+        assert min(values) < 1e-4 and max(values) > 1e-2
+
+    def test_invalid_hyperparameter_definition(self):
+        with pytest.raises(ValueError):
+            hfht.HyperParameter("x", True)
+        with pytest.raises(ValueError):
+            hfht.HyperParameter("x", True, 0.0, 1.0, choices=(1, 2))
+
+    def test_duplicate_names_rejected(self):
+        hp = hfht.HyperParameter("lr", True, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            hfht.SearchSpace([hp, hp])
+
+
+class TestPartitioning:
+    def test_partition_groups_by_infusible_values(self, space):
+        rng = np.random.default_rng(1)
+        configs = space.sample_batch(40, rng)
+        partitions = hfht.partition_and_fuse(configs, space)
+        assert sum(p.num_models for p in partitions) == 40
+        for part in partitions:
+            infusible = dict(part.infusible_values)
+            for config in part.configs:
+                for name, value in infusible.items():
+                    assert config[name] == value
+
+    def test_partition_respects_max_fusion(self, space):
+        rng = np.random.default_rng(2)
+        configs = space.sample_batch(50, rng)
+        partitions = hfht.partition_and_fuse(configs, space, max_fusion=4)
+        assert all(p.num_models <= 4 for p in partitions)
+
+    def test_unfuse_and_reorder_restores_original_order(self, space):
+        rng = np.random.default_rng(3)
+        configs = space.sample_batch(12, rng)
+        partitions = hfht.partition_and_fuse(configs, space)
+        results = [[float(i) for i in part.original_indices]
+                   for part in partitions]
+        restored = hfht.unfuse_and_reorder(partitions, results)
+        assert restored == [float(i) for i in range(12)]
+
+    def test_unfuse_validates_result_counts(self, space):
+        base = space.sample(np.random.default_rng(0))
+        configs = [dict(base, lr=lr) for lr in (1e-4, 1e-3, 1e-2)]
+        partitions = hfht.partition_and_fuse(configs, space)
+        assert partitions[0].num_models == 3
+        with pytest.raises(ValueError):
+            hfht.unfuse_and_reorder(partitions, [[1.0]] * len(partitions))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 30))
+    def test_property_partitions_cover_all_configs(self, count):
+        space = hfht.pointnet_search_space()
+        configs = space.sample_batch(count, np.random.default_rng(count))
+        partitions = hfht.partition_and_fuse(configs, space, max_fusion=5)
+        indices = sorted(i for p in partitions for i in p.original_indices)
+        assert indices == list(range(count))
+
+
+class TestAlgorithms:
+    def test_random_search_proposes_exact_budget(self, space):
+        algo = hfht.RandomSearch(space, total_sets=10, epochs_per_set=3)
+        trials = algo.propose()
+        assert len(trials) == 10
+        assert all(t.epochs == 3 for t in trials)
+        algo.update(trials, [0.1] * 10)
+        assert algo.finished()
+
+    def test_random_search_tracks_best(self, space):
+        algo = hfht.RandomSearch(space, total_sets=5, epochs_per_set=1)
+        trials = algo.propose()
+        scores = [0.1, 0.9, 0.3, 0.2, 0.4]
+        algo.update(trials, scores)
+        best_config, best_score = algo.best
+        assert best_score == pytest.approx(0.9)
+        assert best_config == trials[1].config
+
+    def test_hyperband_successive_halving_shrinks_population(self, space):
+        algo = hfht.Hyperband(space, max_epochs=9, eta=3, seed=0)
+        first = algo.propose()
+        algo.update(first, list(np.linspace(0, 1, len(first))))
+        second = algo.propose()
+        assert len(second) < len(first)
+        assert second[0].epochs > first[0].epochs
+
+    def test_hyperband_survivors_are_top_scorers(self, space):
+        algo = hfht.Hyperband(space, max_epochs=9, eta=3, seed=1)
+        first = algo.propose()
+        scores = list(np.linspace(0, 1, len(first)))
+        algo.update(first, scores)
+        second = algo.propose()
+        best_first = first[int(np.argmax(scores))].config
+        assert any(c.config == best_first for c in second)
+
+    def test_hyperband_terminates(self, space):
+        algo = hfht.Hyperband(space, max_epochs=9, eta=3, skip_last=1, seed=2)
+        rounds = 0
+        while not algo.finished() and rounds < 50:
+            trials = algo.propose()
+            algo.update(trials, [0.5] * len(trials))
+            rounds += 1
+        assert algo.finished()
+
+    def test_surrogate_prefers_good_lr_and_more_epochs(self):
+        good = {"lr": 1e-3, "adam_beta1": 0.9, "adam_beta2": 0.99,
+                "weight_decay": 0.0, "lr_decay_factor": 0.5}
+        bad = dict(good, lr=9e-3, weight_decay=0.5)
+        assert hfht.surrogate_accuracy("t", good, 20) > \
+            hfht.surrogate_accuracy("t", bad, 20)
+        assert hfht.surrogate_accuracy("t", good, 20) > \
+            hfht.surrogate_accuracy("t", good, 2)
+
+
+class TestSchedulersAndTuner:
+    def _run(self, mode, workload, space, total_sets=12, seed=0):
+        algo = hfht.RandomSearch(space, total_sets=total_sets,
+                                 epochs_per_set=2, seed=seed)
+        sched = hfht.JobScheduler(workload, hwsim.V100, space, mode=mode,
+                                  precision="amp")
+        return hfht.HFHT(algo, sched).run()
+
+    def test_all_scheduler_modes_run(self, workload, space):
+        outcomes = {mode: self._run(mode, workload, space)
+                    for mode in ("serial", "concurrent", "mps", "hfta")}
+        for outcome in outcomes.values():
+            assert outcome.total_trials == 12
+            assert outcome.total_gpu_hours > 0
+            assert outcome.best_config is not None
+
+    def test_hfta_scheduler_cheapest(self, workload, space):
+        """Figure 8: the HFTA scheduler needs the fewest GPU hours."""
+        serial = self._run("serial", workload, space)
+        hfta_run = self._run("hfta", workload, space)
+        mps = self._run("mps", workload, space)
+        assert hfta_run.total_gpu_hours < mps.total_gpu_hours
+        assert hfta_run.total_gpu_hours < serial.total_gpu_hours
+        assert serial.total_gpu_hours / hfta_run.total_gpu_hours > 1.5
+
+    def test_results_identical_across_schedulers(self, workload, space):
+        """The scheduler changes cost, never the tuning outcome."""
+        serial = self._run("serial", workload, space, seed=7)
+        fused = self._run("hfta", workload, space, seed=7)
+        assert serial.best_score == pytest.approx(fused.best_score, rel=1e-9)
+        assert serial.best_config == fused.best_config
+
+    def test_hfta_launches_fewer_jobs(self, workload, space):
+        serial = self._run("serial", workload, space)
+        fused = self._run("hfta", workload, space)
+        assert fused.total_jobs_launched < serial.total_jobs_launched
+
+    def test_hyperband_with_hfta_scheduler(self, workload, space):
+        algo = hfht.Hyperband(space, max_epochs=9, eta=3, skip_last=1, seed=0)
+        sched = hfht.JobScheduler(workload, hwsim.V100, space, mode="hfta",
+                                  precision="amp")
+        outcome = hfht.HFHT(algo, sched).run()
+        assert outcome.total_gpu_hours > 0
+        assert outcome.algorithm == "hyperband"
+
+    def test_random_search_benefits_more_than_hyperband(self, workload, space):
+        """Paper Section 5.4: random search is more HFTA-friendly."""
+        def saving(algo_factory):
+            costs = {}
+            for mode in ("serial", "hfta"):
+                sched = hfht.JobScheduler(workload, hwsim.V100, space,
+                                          mode=mode, precision="amp")
+                costs[mode] = hfht.HFHT(algo_factory(), sched).run().total_gpu_hours
+            return costs["serial"] / costs["hfta"]
+
+        rs_saving = saving(lambda: hfht.RandomSearch(space, 16, 2, seed=3))
+        hb_saving = saving(lambda: hfht.Hyperband(space, max_epochs=9, eta=3,
+                                                  skip_last=1, seed=3))
+        assert rs_saving > hb_saving
+
+    def test_invalid_scheduler_mode(self, workload, space):
+        with pytest.raises(ValueError):
+            hfht.JobScheduler(workload, hwsim.V100, space, mode="bogus")

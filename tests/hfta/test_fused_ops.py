@@ -1,0 +1,252 @@
+"""Fused-operator equivalence tests (paper Table 6 fusion rules).
+
+Every fused operator must produce, for each array slot ``b``, exactly the
+output the corresponding unfused operator would produce on model ``b``'s
+input — these tests check that property operator by operator.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import nn
+from repro.hfta import ops as hops
+
+rng = np.random.default_rng(3)
+B = 3
+
+
+def per_model_inputs(shape, count=B):
+    return [nn.tensor(rng.standard_normal(shape).astype(np.float32))
+            for _ in range(count)]
+
+
+def assert_slotwise_equal(fused_out_per_model, serial_outs, atol=1e-5):
+    for fused, serial in zip(fused_out_per_model, serial_outs):
+        np.testing.assert_allclose(fused.data, serial.data, atol=atol,
+                                   rtol=1e-5)
+
+
+class TestFusedConvFamily:
+    @pytest.mark.parametrize("groups", [1, 2])
+    def test_conv2d_equivalence(self, groups):
+        serial = [nn.Conv2d(4, 6, 3, padding=1, groups=groups,
+                            generator=np.random.default_rng(b))
+                  for b in range(B)]
+        fused = hops.Conv2d(B, 4, 6, 3, padding=1, groups=groups)
+        for b, m in enumerate(serial):
+            fused.load_model_weights(b, m.weight.data, m.bias.data)
+        xs = per_model_inputs((2, 4, 5, 5))
+        fused_out = fused(hops.fuse_channel(xs))
+        assert_slotwise_equal(hops.unfuse_channel(fused_out, B),
+                              [m(x) for m, x in zip(serial, xs)])
+
+    def test_conv2d_uses_grouped_convolution(self):
+        """The fused conv must execute with B x groups groups (the key rule)."""
+        fused = hops.Conv2d(B, 4, 6, 3, groups=2)
+        assert fused.weight.shape == (B, 6, 2, 3, 3)
+        x = nn.tensor(rng.standard_normal((1, B * 4, 6, 6)).astype(np.float32))
+        assert fused(x).shape == (1, B * 6, 4, 4)
+
+    def test_conv2d_channel_validation(self):
+        fused = hops.Conv2d(B, 4, 6, 3)
+        with pytest.raises(ValueError):
+            fused(nn.zeros(1, 4, 5, 5))   # missing the array dimension
+
+    def test_conv1d_equivalence(self):
+        serial = [nn.Conv1d(3, 8, 1, generator=np.random.default_rng(b))
+                  for b in range(B)]
+        fused = hops.Conv1d(B, 3, 8, 1)
+        for b, m in enumerate(serial):
+            fused.load_model_weights(b, m.weight.data, m.bias.data)
+        xs = per_model_inputs((2, 3, 20))
+        fused_out = fused(hops.fuse_channel(xs))
+        assert_slotwise_equal(hops.unfuse_channel(fused_out, B),
+                              [m(x) for m, x in zip(serial, xs)])
+
+    def test_conv_transpose2d_equivalence(self):
+        serial = [nn.ConvTranspose2d(6, 4, 4, stride=2, padding=1,
+                                     generator=np.random.default_rng(b))
+                  for b in range(B)]
+        fused = hops.ConvTranspose2d(B, 6, 4, 4, stride=2, padding=1)
+        for b, m in enumerate(serial):
+            fused.load_model_weights(b, m.weight.data, m.bias.data)
+        xs = per_model_inputs((2, 6, 5, 5))
+        fused_out = fused(hops.fuse_channel(xs))
+        assert_slotwise_equal(hops.unfuse_channel(fused_out, B),
+                              [m(x) for m, x in zip(serial, xs)])
+
+    def test_gradients_stay_per_model(self):
+        """Model b's gradient must not leak into model b'."""
+        fused = hops.Conv2d(B, 2, 2, 3, padding=1)
+        xs = per_model_inputs((1, 2, 4, 4))
+        out = fused(hops.fuse_channel(xs))
+        # loss depends only on model 0's slice of the output
+        pieces = hops.unfuse_channel(out, B)
+        (pieces[0] * pieces[0]).sum().backward()
+        grad = fused.weight.grad
+        assert np.abs(grad[0]).sum() > 0
+        np.testing.assert_array_equal(grad[1], 0)
+        np.testing.assert_array_equal(grad[2], 0)
+
+
+class TestFusedLinearAndNorm:
+    def test_linear_equivalence_matches_baddbmm_rule(self):
+        serial = [nn.Linear(10, 7, generator=np.random.default_rng(b))
+                  for b in range(B)]
+        fused = hops.Linear(B, 10, 7)
+        for b, m in enumerate(serial):
+            fused.load_model_weights(b, m.weight.data, m.bias.data)
+        xs = per_model_inputs((4, 10))
+        fused_out = fused(hops.fuse_batch(xs))
+        assert_slotwise_equal([fused_out[b] for b in range(B)],
+                              [m(x) for m, x in zip(serial, xs)])
+
+    def test_linear_middle_dims(self):
+        fused = hops.Linear(B, 8, 4)
+        out = fused(nn.randn(B, 2, 5, 8))
+        assert out.shape == (B, 2, 5, 4)
+
+    def test_linear_input_validation(self):
+        fused = hops.Linear(B, 8, 4)
+        with pytest.raises(ValueError):
+            fused(nn.randn(B + 1, 2, 8))
+        with pytest.raises(ValueError):
+            fused(nn.randn(B, 2, 9))
+
+    def test_batchnorm2d_equivalence_train_and_eval(self):
+        serial = [nn.BatchNorm2d(5) for _ in range(B)]
+        fused = hops.BatchNorm2d(B, 5)
+        for b, m in enumerate(serial):
+            m.weight.data[...] = rng.standard_normal(5)
+            m.bias.data[...] = rng.standard_normal(5)
+            fused.load_model_weights(b, m.weight.data, m.bias.data)
+        xs = per_model_inputs((4, 5, 3, 3))
+        for training in (True, False):
+            for m in serial:
+                m.train(training)
+            fused.train(training)
+            fused_out = fused(hops.fuse_channel(xs))
+            assert_slotwise_equal(hops.unfuse_channel(fused_out, B),
+                                  [m(x) for m, x in zip(serial, xs)],
+                                  atol=1e-4)
+
+    def test_batchnorm_running_stats_per_model(self):
+        """Each model's running stats must track only its own activations."""
+        fused = hops.BatchNorm1d(B, 2)
+        xs = [nn.tensor(np.full((8, 2, 4), float(b), dtype=np.float32))
+              for b in range(B)]
+        fused(hops.fuse_channel(xs))
+        means = fused.running_mean.reshape(B, 2)
+        assert means[0].mean() < means[1].mean() < means[2].mean()
+
+    def test_batchnorm1d_batched_layout(self):
+        fused = hops.BatchNorm1d(B, 6)
+        out = fused(nn.randn(B, 10, 6))
+        assert out.shape == (B, 10, 6)
+
+    def test_layernorm_equivalence(self):
+        serial = [nn.LayerNorm(8) for _ in range(B)]
+        fused = hops.LayerNorm(B, 8)
+        for b, m in enumerate(serial):
+            m.weight.data[...] = rng.standard_normal(8)
+            m.bias.data[...] = rng.standard_normal(8)
+            fused.load_model_weights(b, m.weight.data, m.bias.data)
+        xs = per_model_inputs((4, 6, 8))
+        fused_out = fused(hops.fuse_batch(xs))
+        assert_slotwise_equal([fused_out[b] for b in range(B)],
+                              [m(x) for m, x in zip(serial, xs)], atol=1e-5)
+
+
+class TestFusedEmbeddingPoolingActivation:
+    def test_embedding_equivalence_and_offsets(self):
+        serial = [nn.Embedding(12, 6, generator=np.random.default_rng(b))
+                  for b in range(B)]
+        fused = hops.Embedding(B, 12, 6)
+        for b, m in enumerate(serial):
+            fused.load_model_weights(b, m.weight.data)
+        ids = rng.integers(0, 12, size=(B, 4, 5))
+        fused_out = fused(ids)
+        for b in range(B):
+            np.testing.assert_allclose(fused_out.data[b],
+                                       serial[b](ids[b]).data, atol=1e-6)
+
+    def test_embedding_rejects_out_of_range(self):
+        fused = hops.Embedding(B, 10, 4)
+        with pytest.raises(IndexError):
+            fused(np.full((B, 3), 10))
+
+    def test_maxpool_and_avgpool_channel_folded(self):
+        xs = per_model_inputs((2, 3, 8, 8))
+        fused_in = hops.fuse_channel(xs)
+        pool = hops.MaxPool2d(B, 2)
+        serial_pool = nn.MaxPool2d(2)
+        assert_slotwise_equal(hops.unfuse_channel(pool(fused_in), B),
+                              [serial_pool(x) for x in xs])
+        apool = hops.AdaptiveAvgPool2d(B, 1)
+        serial_apool = nn.AdaptiveAvgPool2d(1)
+        assert_slotwise_equal(hops.unfuse_channel(apool(fused_in), B),
+                              [serial_apool(x) for x in xs])
+
+    def test_pooling_validates_channel_divisibility(self):
+        pool = hops.MaxPool2d(B, 2)
+        with pytest.raises(ValueError):
+            pool(nn.zeros(1, B * 3 + 1, 4, 4))
+
+    def test_activations_match_serial(self):
+        xs = per_model_inputs((2, 4, 5))
+        fused_in = hops.fuse_batch(xs)
+        pairs = [(hops.ReLU(B), nn.ReLU()), (hops.Tanh(B), nn.Tanh()),
+                 (hops.Hardswish(B), nn.Hardswish()),
+                 (hops.LeakyReLU(B, 0.2), nn.LeakyReLU(0.2)),
+                 (hops.Sigmoid(B), nn.Sigmoid())]
+        for fused_act, serial_act in pairs:
+            out = fused_act(fused_in)
+            assert_slotwise_equal([out[b] for b in range(B)],
+                                  [serial_act(x) for x in xs])
+
+    def test_fused_attention_equivalence(self):
+        serial = [nn.TransformerEncoderLayer(8, 2, 16, dropout=0.0,
+                                             generator=np.random.default_rng(b))
+                  for b in range(B)]
+        fused = hops.TransformerEncoderLayer(B, 8, 2, 16, dropout=0.0)
+        from repro.hfta import load_from_unfused
+        load_from_unfused(fused, serial)
+        xs = per_model_inputs((2, 5, 8))
+        fused_out = fused(hops.fuse_batch(xs))
+        assert_slotwise_equal([fused_out[b] for b in range(B)],
+                              [m(x) for m, x in zip(serial, xs)], atol=1e-4)
+
+
+class TestLayoutHelpers:
+    def test_fuse_unfuse_channel_roundtrip(self):
+        xs = per_model_inputs((2, 4, 3, 3))
+        back = hops.unfuse_channel(hops.fuse_channel(xs), B)
+        for a, b in zip(xs, back):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_fuse_unfuse_batch_roundtrip(self):
+        xs = per_model_inputs((5, 7))
+        back = hops.unfuse_batch(hops.fuse_batch(xs))
+        for a, b in zip(xs, back):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_channel_batch_layout_conversion_roundtrip(self):
+        xs = per_model_inputs((2, 4, 3))
+        folded = hops.fuse_channel(xs)
+        batched = hops.channel_to_batch(folded, B)
+        assert batched.shape == (B, 2, 4, 3)
+        back = hops.batch_to_channel(batched)
+        np.testing.assert_allclose(back.data, folded.data)
+
+    def test_unfuse_channel_validates_divisibility(self):
+        with pytest.raises(ValueError):
+            hops.unfuse_channel(nn.zeros(1, 7, 2, 2), 2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 3), st.integers(1, 4))
+    def test_property_layout_roundtrip(self, b, n, c):
+        x = nn.tensor(np.random.default_rng(0).standard_normal(
+            (n, b * c, 2)).astype(np.float32))
+        roundtrip = hops.batch_to_channel(hops.channel_to_batch(x, b))
+        np.testing.assert_allclose(roundtrip.data, x.data)

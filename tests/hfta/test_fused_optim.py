@@ -1,0 +1,234 @@
+"""Fused optimizer / LR-scheduler / loss-scaling equivalence tests.
+
+The central claim (paper Section 3 "Convergence", Appendix C/D): training B
+models inside one fused array with per-model hyper-parameter vectors follows
+exactly the same trajectory as training the B models independently.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim as serial_optim, hfta
+from repro.hfta import ops as hops, optim as fused_optim
+from repro.nn import functional as F
+
+B = 3
+LRS = [1e-2, 5e-3, 2e-2]
+
+
+def build_pair(seed_base=50):
+    """B serial Linear models and the fused array initialized identically."""
+    serial = [nn.Linear(6, 4, generator=np.random.default_rng(seed_base + b))
+              for b in range(B)]
+    fused = hops.Linear(B, 6, 4)
+    for b, m in enumerate(serial):
+        fused.load_model_weights(b, m.weight.data, m.bias.data)
+    return serial, fused
+
+
+def train_pair(serial_opts, fused_opt, serial, fused, steps=4, seed=0,
+               fused_criterion=None):
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        x = rng.standard_normal((5, 6)).astype(np.float32)
+        t = rng.standard_normal((5, 4)).astype(np.float32)
+        for b, model in enumerate(serial):
+            serial_opts[b].zero_grad()
+            F.mse_loss(model(nn.tensor(x)), t).backward()
+            serial_opts[b].step()
+        fused_opt.zero_grad()
+        pred = fused(hops.fuse_batch([nn.tensor(x)] * B))
+        criterion = fused_criterion or hfta.FusedMSELoss(B)
+        criterion(pred, np.stack([t] * B)).backward()
+        fused_opt.step()
+
+
+def max_weight_divergence(serial, fused):
+    worst = 0.0
+    for b, model in enumerate(serial):
+        w, bias = fused.export_model_weights(b)
+        worst = max(worst, np.abs(model.weight.data - w).max(),
+                    np.abs(model.bias.data - bias).max())
+    return worst
+
+
+class TestFusedOptimizerEquivalence:
+    def test_adam_per_model_lrs_match_serial(self):
+        serial, fused = build_pair()
+        sopts = [serial_optim.Adam(m.parameters(), lr=LRS[b])
+                 for b, m in enumerate(serial)]
+        fopt = fused_optim.Adam(fused.parameters(), num_models=B, lr=LRS)
+        train_pair(sopts, fopt, serial, fused)
+        assert max_weight_divergence(serial, fused) < 1e-5
+
+    def test_sgd_momentum_match_serial(self):
+        serial, fused = build_pair(60)
+        momenta = [0.0, 0.5, 0.9]
+        sopts = [serial_optim.SGD(m.parameters(), lr=LRS[b],
+                                  momentum=momenta[b])
+                 for b, m in enumerate(serial)]
+        fopt = fused_optim.SGD(fused.parameters(), num_models=B, lr=LRS,
+                               momentum=momenta)
+        train_pair(sopts, fopt, serial, fused)
+        assert max_weight_divergence(serial, fused) < 1e-5
+
+    def test_adadelta_match_serial(self):
+        serial, fused = build_pair(70)
+        sopts = [serial_optim.Adadelta(m.parameters(), lr=1.0)
+                 for m in serial]
+        fopt = fused_optim.Adadelta(fused.parameters(), num_models=B, lr=1.0)
+        train_pair(sopts, fopt, serial, fused)
+        assert max_weight_divergence(serial, fused) < 1e-5
+
+    def test_adam_different_weight_decay_per_model(self):
+        serial, fused = build_pair(80)
+        wds = [0.0, 0.1, 0.3]
+        sopts = [serial_optim.Adam(m.parameters(), lr=1e-2, weight_decay=wds[b])
+                 for b, m in enumerate(serial)]
+        fopt = fused_optim.Adam(fused.parameters(), num_models=B, lr=1e-2,
+                                weight_decay=wds)
+        train_pair(sopts, fopt, serial, fused)
+        assert max_weight_divergence(serial, fused) < 1e-5
+
+    def test_fused_param_shape_validation(self):
+        bad = nn.Parameter(np.zeros((B + 1, 4)))
+        with pytest.raises(ValueError):
+            fused_optim.Adam([bad], num_models=B)
+
+    def test_hyperparameter_vector_length_validation(self):
+        _, fused = build_pair()
+        with pytest.raises(ValueError):
+            fused_optim.Adam(fused.parameters(), num_models=B, lr=[0.1, 0.2])
+
+    def test_unfused_param_group_for_partial_fusion(self):
+        """Partial fusion: unfused params update with their model's scalars."""
+        _, fused = build_pair()
+        extra = nn.Parameter(np.ones(4, dtype=np.float32))
+        opt = fused_optim.SGD(fused.parameters(), num_models=B, lr=LRS)
+        opt.add_unfused_param_group([extra], model_index=2)
+        extra.grad = np.ones(4, dtype=np.float32)
+        for p in fused.parameters():
+            p.grad = np.zeros_like(p.data)
+        opt.step()
+        np.testing.assert_allclose(extra.data, 1.0 - LRS[2], rtol=1e-6)
+
+
+class TestFusedSchedulers:
+    def _fused_opt(self):
+        _, fused = build_pair()
+        return fused_optim.Adam(fused.parameters(), num_models=B, lr=LRS)
+
+    def test_steplr_per_model_periods(self):
+        opt = self._fused_opt()
+        sched = fused_optim.StepLR(opt, step_size=[1, 2, 4], gamma=0.1)
+        for _ in range(4):
+            sched.step()
+        lr = opt.lr
+        np.testing.assert_allclose(lr[0], LRS[0] * 1e-4, rtol=1e-6)
+        np.testing.assert_allclose(lr[1], LRS[1] * 1e-2, rtol=1e-6)
+        np.testing.assert_allclose(lr[2], LRS[2] * 1e-1, rtol=1e-6)
+
+    def test_steplr_matches_serial_scheduler(self):
+        serial, fused = build_pair()
+        sopts = [serial_optim.Adam(m.parameters(), lr=LRS[b])
+                 for b, m in enumerate(serial)]
+        sscheds = [serial_optim.StepLR(o, step_size=2, gamma=0.5)
+                   for o in sopts]
+        fopt = fused_optim.Adam(fused.parameters(), num_models=B, lr=LRS)
+        fsched = fused_optim.StepLR(fopt, step_size=2, gamma=0.5)
+        for _ in range(5):
+            for s in sscheds:
+                s.step()
+            fsched.step()
+        for b in range(B):
+            assert fopt.lr[b] == pytest.approx(sopts[b].lr, rel=1e-9)
+
+    def test_exponential_and_cosine(self):
+        opt = self._fused_opt()
+        fused_optim.ExponentialLR(opt, gamma=[0.9, 0.5, 0.1]).step()
+        np.testing.assert_allclose(opt.lr, np.array(LRS) * [0.9, 0.5, 0.1],
+                                   rtol=1e-9)
+        opt2 = self._fused_opt()
+        sched = fused_optim.CosineAnnealingLR(opt2, T_max=10)
+        for _ in range(10):
+            sched.step()
+        np.testing.assert_allclose(opt2.lr, 0.0, atol=1e-9)
+
+
+class TestLossScaling:
+    def test_mean_reduction_scaled_by_B(self):
+        loss = nn.tensor(np.array(2.0, dtype=np.float32), requires_grad=True)
+        scaled = hfta.scale_fused_loss(loss, 4, "mean")
+        assert scaled.item() == pytest.approx(8.0)
+
+    def test_sum_reduction_not_scaled(self):
+        loss = nn.tensor(np.array(2.0, dtype=np.float32))
+        assert hfta.scale_fused_loss(loss, 4, "sum").item() == pytest.approx(2.0)
+
+    def test_invalid_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            hfta.scale_fused_loss(nn.tensor(1.0), 2, "max")
+
+    def test_fused_cross_entropy_gradient_equals_independent(self):
+        """Appendix C: the scaled fused loss reconstructs each model's grads."""
+        serial, fused = build_pair(90)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((5, 6)).astype(np.float32)
+        t = rng.integers(0, 4, size=5)
+        # independent gradients
+        for model in serial:
+            F.cross_entropy(model(nn.tensor(x)), t).backward()
+        # fused gradient with scaling
+        pred = fused(hops.fuse_batch([nn.tensor(x)] * B))
+        hfta.FusedCrossEntropyLoss(B)(pred, np.stack([t] * B)).backward()
+        for b, model in enumerate(serial):
+            np.testing.assert_allclose(fused.weight.grad[b], model.weight.grad,
+                                       rtol=1e-4, atol=1e-6)
+
+    def test_per_model_losses_reported(self):
+        _, fused = build_pair(95)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((5, 6)).astype(np.float32)
+        t = rng.integers(0, 4, size=(B, 5))
+        crit = hfta.FusedCrossEntropyLoss(B)
+        pred = fused(hops.fuse_batch([nn.tensor(x)] * B))
+        per_model = crit.per_model(pred, t)
+        assert per_model.shape == (B,)
+        assert np.all(np.isfinite(per_model))
+
+
+class TestFusionHelpers:
+    def test_load_and_export_roundtrip(self):
+        serial, fused = build_pair(110)
+        template = nn.Linear(6, 4)
+        hfta.export_to_unfused(fused, 1, template)
+        np.testing.assert_array_equal(template.weight.data,
+                                      serial[1].weight.data)
+
+    def test_load_from_unfused_shape_mismatch(self):
+        serial = [nn.Linear(6, 4) for _ in range(2)]
+        fused = hops.Linear(3, 6, 4)   # wrong B
+        with pytest.raises(ValueError):
+            hfta.load_from_unfused(fused, serial)
+
+    def test_validate_fusibility_accepts_identical_models(self):
+        models = [nn.Sequential(nn.Linear(4, 4), nn.ReLU()) for _ in range(3)]
+        assert hfta.validate_fusibility(models)
+
+    def test_validate_fusibility_rejects_shape_mismatch(self):
+        models = [nn.Linear(4, 4), nn.Linear(4, 5)]
+        with pytest.raises(ValueError):
+            hfta.validate_fusibility(models)
+
+    def test_validate_fusibility_rejects_structure_mismatch(self):
+        models = [nn.Sequential(nn.Linear(4, 4)),
+                  nn.Sequential(nn.Linear(4, 4), nn.ReLU())]
+        with pytest.raises(ValueError):
+            hfta.validate_fusibility(models)
+
+    def test_fused_parameter_report(self):
+        _, fused = build_pair()
+        report = hfta.fused_parameter_report(fused)
+        assert report["num_models"] == B
+        assert report["total_parameters"] == B * (6 * 4 + 4)
+        assert report["parameters_per_model"] == 6 * 4 + 4

@@ -1,0 +1,238 @@
+"""Tests for the accelerator performance / memory / utilization simulator.
+
+These tests assert the *qualitative* properties the paper establishes (who
+wins, what plateaus, what scales) rather than absolute numbers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import hwsim
+
+
+@pytest.fixture(scope="module")
+def pointnet():
+    return hwsim.get_workload("pointnet_cls")
+
+
+@pytest.fixture(scope="module")
+def dcgan():
+    return hwsim.get_workload("dcgan")
+
+
+class TestDevicesAndKernels:
+    def test_device_lookup_case_insensitive(self):
+        assert hwsim.get_device("v100").name == "V100"
+        with pytest.raises(KeyError):
+            hwsim.get_device("H100")
+
+    def test_device_generations_grow(self):
+        assert hwsim.A100.fp32_tflops > hwsim.V100.fp32_tflops
+        assert hwsim.A100.mem_gb > hwsim.RTX6000.mem_gb > hwsim.V100.mem_gb
+
+    def test_mig_only_on_a100(self):
+        assert hwsim.A100.mig_max_instances == 7
+        assert hwsim.V100.mig_max_instances == 0
+
+    def test_framework_overhead_matches_fig6_intercepts(self):
+        assert hwsim.V100.framework_overhead_gb("fp32") == pytest.approx(1.52)
+        assert hwsim.V100.framework_overhead_gb("amp") == pytest.approx(2.12)
+
+    def test_fused_kernel_scales_work_and_parallelism(self):
+        k = hwsim.gemm_kernel("k", 64, 64, 64)
+        fused = k.fused(5)
+        assert fused.flops == pytest.approx(5 * k.flops)
+        assert fused.parallelism == pytest.approx(5 * k.parallelism)
+
+    def test_kernel_cost_monotone_in_size(self):
+        small = hwsim.gemm_kernel("s", 32, 32, 32)
+        large = hwsim.gemm_kernel("l", 512, 512, 512)
+        cs = hwsim.kernel_cost(small, hwsim.V100)
+        cl = hwsim.kernel_cost(large, hwsim.V100)
+        assert cl.busy_time_s > cs.busy_time_s
+        assert cl.compute_utilization > cs.compute_utilization
+
+    def test_amp_only_helps_large_gemms(self):
+        small = hwsim.gemm_kernel("s", 64, 64, 64)
+        large = hwsim.gemm_kernel("l", 8192, 4096, 1024)
+        dev = hwsim.V100
+        speedup_small = (hwsim.kernel_cost(small, dev, "fp32").busy_time_s
+                         / hwsim.kernel_cost(small, dev, "amp").busy_time_s)
+        speedup_large = (hwsim.kernel_cost(large, dev, "fp32").busy_time_s
+                         / hwsim.kernel_cost(large, dev, "amp").busy_time_s)
+        assert speedup_large > speedup_small
+
+    def test_workload_registry_complete(self):
+        assert set(hwsim.MAJOR_WORKLOADS) <= set(hwsim.WORKLOADS)
+        assert set(hwsim.SECONDARY_WORKLOADS) <= set(hwsim.WORKLOADS)
+        with pytest.raises(KeyError):
+            hwsim.get_workload("alexnet")
+
+
+class TestMemoryModel:
+    def test_hfta_pays_framework_overhead_once(self, pointnet):
+        dev = hwsim.V100
+        hfta8 = hwsim.memory_footprint_gb(pointnet, dev, "hfta", 8, "fp32")
+        mps8 = hwsim.memory_footprint_gb(pointnet, dev, "mps", 8, "fp32")
+        assert mps8 - hfta8 == pytest.approx(
+            7 * dev.framework_overhead_gb("fp32"), rel=1e-6)
+
+    def test_memory_linear_in_models(self, pointnet):
+        dev = hwsim.V100
+        f = [hwsim.memory_footprint_gb(pointnet, dev, "hfta", b, "amp")
+             for b in (1, 2, 3)]
+        assert f[2] - f[1] == pytest.approx(f[1] - f[0], rel=1e-6)
+
+    def test_max_models_matches_paper_order_of_magnitude(self, pointnet):
+        """Paper: ~9 / 15 / 25 AMP PointNet-cls models under HFTA."""
+        assert 7 <= hwsim.max_models(pointnet, hwsim.V100, "hfta", "amp") <= 11
+        assert 12 <= hwsim.max_models(pointnet, hwsim.RTX6000, "hfta", "amp") <= 18
+        assert 20 <= hwsim.max_models(pointnet, hwsim.A100, "hfta", "amp") <= 30
+
+    def test_hfta_fits_more_models_than_mps(self, pointnet, dcgan):
+        for wl in (pointnet, dcgan):
+            assert hwsim.max_models(wl, hwsim.V100, "hfta", "amp") > \
+                hwsim.max_models(wl, hwsim.V100, "mps", "amp")
+
+
+class TestSharingModes:
+    def test_concurrent_throughput_close_to_serial(self, pointnet):
+        dev = hwsim.V100
+        serial = hwsim.simulate(pointnet, dev, "serial", 1, "fp32")
+        conc = hwsim.simulate(pointnet, dev, "concurrent", 4, "fp32")
+        # whole-device throughput stays at the serial level (Fig 4 flat curve)
+        assert conc.throughput == pytest.approx(serial.throughput, rel=0.35)
+
+    def test_hfta_beats_all_baselines_at_peak(self, pointnet):
+        for dev in (hwsim.V100, hwsim.RTX6000, hwsim.A100):
+            speedups = hwsim.peak_speedups(pointnet, dev)
+            assert all(s > 1.5 for s in speedups.values()), (dev.name, speedups)
+
+    def test_hfta_speedup_grows_with_device_generation(self, pointnet):
+        v100 = hwsim.peak_speedups(pointnet, hwsim.V100)["serial"]
+        a100 = hwsim.peak_speedups(pointnet, hwsim.A100)["serial"]
+        assert a100 > v100
+
+    def test_hfta_throughput_monotone_then_plateaus(self, pointnet):
+        sweep = hwsim.throughput_sweep(pointnet, hwsim.V100, "hfta", "amp")
+        tps = [r.throughput for r in sweep]
+        assert all(b >= a * 0.98 for a, b in zip(tps, tps[1:]))
+
+    def test_mps_gain_capped(self, pointnet):
+        dev = hwsim.V100
+        serial = hwsim.simulate(pointnet, dev, "serial", 1, "amp").throughput
+        sweep = hwsim.throughput_sweep(pointnet, dev, "mps", "amp")
+        assert max(r.throughput for r in sweep) < 4.0 * serial
+
+    def test_mig_unavailable_on_v100(self, pointnet):
+        with pytest.raises(ValueError):
+            hwsim.simulate(pointnet, hwsim.V100, "mig", 2)
+
+    def test_mps_unavailable_on_tpu(self, pointnet):
+        with pytest.raises(ValueError):
+            hwsim.simulate(pointnet, hwsim.TPU_V3, "mps", 2)
+
+    def test_unknown_mode_rejected(self, pointnet):
+        with pytest.raises(ValueError):
+            hwsim.simulate(pointnet, hwsim.V100, "timeslice", 1)
+
+    def test_out_of_memory_reports_not_fits(self, pointnet):
+        result = hwsim.simulate(pointnet, hwsim.V100, "mps", 64, "fp32")
+        assert not result.fits
+        assert result.throughput == 0.0
+
+    def test_tpu_hfta_speedup(self, pointnet, dcgan):
+        """Figure 5: large HFTA speedups on TPU v3, super-linear for DCGAN."""
+        for wl, minimum in ((pointnet, 3.0), (dcgan, 8.0)):
+            serial = hwsim.simulate(wl, hwsim.TPU_V3, "serial", 1, "amp")
+            peak, at = hwsim.peak_throughput(wl, hwsim.TPU_V3, "hfta", "amp")
+            assert peak / serial.throughput > minimum
+
+    def test_dcgan_concurrent_plateaus_while_hfta_scales(self, dcgan):
+        """Fig 4c: the concurrent curve flattens early (host contention),
+        while the HFTA curve keeps climbing with the number of models."""
+        conc = [r.throughput for r in hwsim.throughput_sweep(
+            dcgan, hwsim.V100, "concurrent", "fp32", max_jobs=30)]
+        hfta_sweep = [r.throughput for r in hwsim.throughput_sweep(
+            dcgan, hwsim.V100, "hfta", "fp32", max_jobs=30)]
+        assert max(conc) < 3.0 * conc[0]
+        assert max(hfta_sweep) > max(conc)
+        assert max(hfta_sweep) / hfta_sweep[0] > max(conc) / conc[0]
+
+
+class TestCounters:
+    def test_hfta_utilization_scales_with_models(self, pointnet):
+        dev = hwsim.A100
+        r1 = hwsim.simulate(pointnet, dev, "hfta", 1, "amp")
+        r8 = hwsim.simulate(pointnet, dev, "hfta", 8, "amp")
+        r20 = hwsim.simulate(pointnet, dev, "hfta", 20, "amp")
+        assert r1.sm_active < r8.sm_active < r20.sm_active
+        assert r1.tensor_active < r20.tensor_active
+
+    def test_concurrent_counters_match_serial(self, pointnet):
+        dev = hwsim.A100
+        serial = hwsim.simulate(pointnet, dev, "serial", 1, "amp")
+        conc = hwsim.simulate(pointnet, dev, "concurrent", 6, "amp")
+        assert conc.sm_active == pytest.approx(serial.sm_active, rel=0.05)
+
+    def test_mps_counters_plateau_at_cap(self, pointnet):
+        dev = hwsim.A100
+        r12 = hwsim.simulate(pointnet, dev, "mps", 10, "amp")
+        assert r12.sm_active <= dev.mps_utilization_cap + 1e-6
+
+    def test_occupancy_below_active(self, pointnet):
+        r = hwsim.simulate(pointnet, hwsim.V100, "hfta", 6, "amp")
+        assert r.sm_occupancy < r.sm_active
+
+    def test_nvidia_smi_metric_is_a_weak_signal(self, pointnet):
+        """Figure 13: the nvidia-smi 'GPU utilization' stays high regardless."""
+        dev = hwsim.A100
+        serial = hwsim.simulate(pointnet, dev, "serial", 1, "amp")
+        hfta = hwsim.simulate(pointnet, dev, "hfta", 20, "amp")
+        assert serial.gpu_util_nvidia_smi > 0.5
+        ratio = hfta.gpu_util_nvidia_smi / serial.gpu_util_nvidia_smi
+        true_ratio = hfta.sm_active / serial.sm_active
+        assert ratio < true_ratio   # it underestimates the real difference
+
+
+class TestAnalysis:
+    def test_table5_structure(self, pointnet):
+        speedups = hwsim.peak_speedups(pointnet, hwsim.A100)
+        assert set(speedups) == {"serial", "concurrent", "mps", "mig"}
+
+    def test_equal_models_speedups_positive(self, pointnet):
+        out = hwsim.equal_models_speedups(pointnet, hwsim.V100, "amp")
+        assert out and all(v >= 1.0 for v in out.values())
+
+    def test_amp_over_fp32_largest_for_hfta(self, pointnet):
+        table10 = hwsim.amp_over_fp32_speedups(pointnet, hwsim.V100)
+        assert table10["hfta"] >= max(v for k, v in table10.items()
+                                      if k != "hfta") - 1e-6
+
+    def test_baseline_modes_per_device(self):
+        assert "mig" in hwsim.baseline_modes(hwsim.A100)
+        assert "mig" not in hwsim.baseline_modes(hwsim.V100)
+        assert hwsim.baseline_modes(hwsim.TPU_V3) == ["serial"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 12), st.sampled_from(["fp32", "amp"]))
+def test_property_hfta_device_throughput_never_below_serial(b, precision):
+    """The fused array always extracts at least one serial job's worth of
+    throughput from the device (Figure 4: HFTA curves start at ~1x and only
+    go up)."""
+    wl = hwsim.get_workload("pointnet_cls")
+    serial = hwsim.simulate(wl, hwsim.V100, "serial", 1, precision)
+    fused = hwsim.simulate(wl, hwsim.V100, "hfta", b, precision)
+    if fused.fits:
+        assert fused.throughput >= serial.throughput * 0.95
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 10))
+def test_property_memory_monotone_in_models(b):
+    wl = hwsim.get_workload("dcgan")
+    m1 = hwsim.memory_footprint_gb(wl, hwsim.A100, "hfta", b, "fp32")
+    m2 = hwsim.memory_footprint_gb(wl, hwsim.A100, "hfta", b + 1, "fp32")
+    assert m2 > m1

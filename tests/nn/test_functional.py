@@ -1,0 +1,228 @@
+"""Gradient checks and behavioural tests for the functional ops."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from ..conftest import numerical_gradient
+
+rng = np.random.default_rng(7)
+
+
+def t64(shape):
+    return nn.tensor(rng.standard_normal(shape), requires_grad=True)
+
+
+def check_grads(build, params, tol=1e-5):
+    """Verify autograd gradients of 0.5*sum(out^2) against finite differences."""
+    out = build()
+    ((out * out).sum() * 0.5).backward()
+    for p in params:
+        num = numerical_gradient(
+            lambda: float((build().data ** 2).sum()) * 0.5, p)
+        np.testing.assert_allclose(p.grad, num, rtol=tol, atol=tol)
+
+
+class TestConvolutions:
+    @pytest.mark.parametrize("stride,padding,groups", [
+        (1, 0, 1), (2, 1, 1), (1, 1, 2), (2, 0, 2)])
+    def test_conv2d_gradients(self, stride, padding, groups):
+        x = t64((2, 4, 6, 6))
+        w = t64((6, 4 // groups, 3, 3))
+        b = t64((6,))
+        check_grads(lambda: F.conv2d(x, w, b, stride, padding, groups=groups),
+                    [x, w, b])
+
+    def test_conv2d_output_shape(self):
+        x = nn.zeros(1, 3, 8, 8)
+        w = nn.zeros(5, 3, 3, 3)
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (1, 5, 4, 4)
+
+    def test_conv2d_groups_channel_independence(self):
+        """With groups=2, group-0 outputs must not depend on group-1 inputs."""
+        x = rng.standard_normal((1, 4, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        base = F.conv2d(nn.tensor(x), nn.tensor(w), groups=2).data
+        x2 = x.copy()
+        x2[:, 2:] += 100.0   # perturb only the second group's inputs
+        out2 = F.conv2d(nn.tensor(x2), nn.tensor(w), groups=2).data
+        np.testing.assert_allclose(base[:, :2], out2[:, :2], rtol=1e-5)
+        assert not np.allclose(base[:, 2:], out2[:, 2:])
+
+    def test_conv2d_rejects_bad_groups(self):
+        with pytest.raises(ValueError):
+            F.conv2d(nn.zeros(1, 3, 4, 4), nn.zeros(4, 3, 3, 3), groups=2)
+
+    def test_conv1d_matches_manual(self):
+        x = nn.tensor(rng.standard_normal((2, 3, 10)).astype(np.float32))
+        w = nn.tensor(rng.standard_normal((5, 3, 1)).astype(np.float32))
+        out = F.conv1d(x, w)
+        manual = np.einsum("ncl,oc->nol", x.data, w.data[:, :, 0])
+        np.testing.assert_allclose(out.data, manual, rtol=1e-5, atol=1e-5)
+
+    @pytest.mark.parametrize("stride,padding,groups", [(1, 0, 1), (2, 1, 2)])
+    def test_conv_transpose2d_gradients(self, stride, padding, groups):
+        x = t64((1, 4, 4, 4))
+        w = t64((4, 3 // 1 if groups == 1 else 2, 3, 3))
+        check_grads(lambda: F.conv_transpose2d(
+            x, w, None, stride, padding, groups=groups), [x, w])
+
+    def test_conv_transpose2d_inverts_conv_shape(self):
+        x = nn.zeros(1, 8, 5, 5)
+        w = nn.zeros(8, 4, 4, 4)
+        out = F.conv_transpose2d(x, w, stride=2, padding=1)
+        assert out.shape == (1, 4, 10, 10)
+
+
+class TestPooling:
+    def test_max_pool2d_values(self):
+        x = nn.tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, 2, 2)
+        np.testing.assert_allclose(out.data.reshape(-1), [5, 7, 13, 15])
+
+    def test_max_pool2d_gradient(self):
+        x = t64((1, 2, 4, 4))
+        check_grads(lambda: F.max_pool2d(x, 2, 2), [x])
+
+    def test_avg_pool2d_is_mean(self):
+        x = nn.tensor(np.ones((1, 1, 4, 4), dtype=np.float32))
+        np.testing.assert_allclose(F.avg_pool2d(x, 2).data,
+                                   np.ones((1, 1, 2, 2)))
+
+    def test_adaptive_avg_pool_global(self):
+        x = nn.tensor(rng.standard_normal((2, 3, 5, 5)).astype(np.float32))
+        out = F.adaptive_avg_pool2d(x, 1)
+        np.testing.assert_allclose(out.data.reshape(2, 3),
+                                   x.data.mean(axis=(2, 3)), rtol=1e-5)
+
+    def test_adaptive_avg_pool_rejects_non_divisible(self):
+        with pytest.raises(ValueError):
+            F.adaptive_avg_pool2d(nn.zeros(1, 1, 5, 5), 2)
+
+
+class TestNormalization:
+    def test_batch_norm_normalizes_training(self):
+        x = nn.tensor(rng.standard_normal((64, 8)).astype(np.float32) * 5 + 3)
+        out = F.batch_norm(x, None, None, None, None, training=True)
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.data.std(axis=0), 1.0, atol=1e-2)
+
+    def test_batch_norm_updates_running_stats(self):
+        mean = np.zeros(4, dtype=np.float32)
+        var = np.ones(4, dtype=np.float32)
+        x = nn.tensor(np.full((8, 4), 10.0, dtype=np.float32))
+        F.batch_norm(x, mean, var, None, None, training=True, momentum=0.5)
+        assert np.all(mean > 0)
+
+    def test_batch_norm_eval_uses_running_stats(self):
+        mean = np.full(4, 2.0, dtype=np.float32)
+        var = np.full(4, 4.0, dtype=np.float32)
+        x = nn.tensor(np.full((2, 4), 4.0, dtype=np.float32))
+        out = F.batch_norm(x, mean, var, None, None, training=False)
+        np.testing.assert_allclose(out.data, 1.0, atol=1e-3)
+
+    def test_layer_norm_gradients(self):
+        x = t64((3, 6))
+        w = t64((6,))
+        b = t64((6,))
+        check_grads(lambda: F.layer_norm(x, (6,), w, b), [x, w, b], tol=1e-4)
+
+
+class TestEmbeddingDropoutActivations:
+    def test_embedding_lookup_and_grad(self):
+        w = t64((10, 4))
+        idx = np.array([[1, 2], [2, 3]])
+        out = F.embedding(idx, w)
+        assert out.shape == (2, 2, 4)
+        out.sum().backward()
+        assert w.grad[2].sum() == pytest.approx(8.0)  # row 2 used twice
+        assert w.grad[0].sum() == 0.0
+
+    def test_dropout_eval_is_identity(self):
+        x = nn.tensor(np.ones((4, 4), dtype=np.float32))
+        np.testing.assert_array_equal(F.dropout(x, 0.5, training=False).data,
+                                      x.data)
+
+    def test_dropout_preserves_expectation(self):
+        gen = np.random.default_rng(0)
+        x = nn.tensor(np.ones((2000,), dtype=np.float32))
+        out = F.dropout(x, 0.25, training=True, generator=gen)
+        assert abs(out.data.mean() - 1.0) < 0.1
+
+    def test_dropout2d_zeroes_whole_channels(self):
+        gen = np.random.default_rng(0)
+        x = nn.tensor(np.ones((4, 8, 3, 3), dtype=np.float32))
+        out = F.dropout2d(x, 0.5, training=True, generator=gen).data
+        per_channel = out.reshape(4, 8, -1)
+        for n in range(4):
+            for c in range(8):
+                vals = np.unique(per_channel[n, c])
+                assert len(vals) == 1  # all-zero or all-scaled
+
+    def test_relu6_clips(self):
+        x = nn.tensor(np.array([-1.0, 3.0, 9.0], dtype=np.float32))
+        np.testing.assert_allclose(F.relu6(x).data, [0.0, 3.0, 6.0])
+
+    def test_hardswish_known_points(self):
+        x = nn.tensor(np.array([-4.0, 0.0, 4.0], dtype=np.float32))
+        np.testing.assert_allclose(F.hardswish(x).data, [0.0, 0.0, 4.0])
+
+    def test_gelu_monotone_near_origin(self):
+        x = nn.tensor(np.array([-1.0, 0.0, 1.0], dtype=np.float32))
+        out = F.gelu(x).data
+        assert out[0] < out[1] < out[2]
+
+    def test_leaky_relu_slope(self):
+        x = t64((5,))
+        out = F.leaky_relu(x, 0.1)
+        expected = np.where(x.data > 0, x.data, 0.1 * x.data)
+        np.testing.assert_allclose(out.data, expected)
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = nn.tensor(rng.standard_normal((4, 5)).astype(np.float32))
+        target = np.array([0, 1, 2, 3])
+        loss = F.cross_entropy(logits, target)
+        probs = np.exp(logits.data - logits.data.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        manual = -np.log(probs[np.arange(4), target]).mean()
+        assert loss.item() == pytest.approx(manual, rel=1e-5)
+
+    def test_nll_loss_reductions(self):
+        lp = nn.tensor(np.log(np.full((2, 3), 1 / 3, dtype=np.float32)))
+        target = np.array([0, 1])
+        assert F.nll_loss(lp, target, "sum").item() == pytest.approx(
+            2 * np.log(3), rel=1e-5)
+        assert F.nll_loss(lp, target, "mean").item() == pytest.approx(
+            np.log(3), rel=1e-5)
+
+    def test_cross_entropy_gradients(self):
+        logits = t64((3, 4))
+        target = np.array([1, 0, 3])
+        loss = F.cross_entropy(logits, target)
+        loss.backward()
+        probs = np.exp(logits.data - logits.data.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        expected = probs.copy()
+        expected[np.arange(3), target] -= 1
+        np.testing.assert_allclose(logits.grad, expected / 3, rtol=1e-5,
+                                   atol=1e-6)
+
+    def test_mse_loss(self):
+        pred = nn.tensor(np.array([1.0, 2.0], dtype=np.float32))
+        assert F.mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_bce_loss_bounds(self):
+        prob = nn.tensor(np.array([0.9, 0.1], dtype=np.float32))
+        loss = F.binary_cross_entropy(prob, np.array([1.0, 0.0]))
+        assert loss.item() == pytest.approx(-np.log(0.9), rel=1e-4)
+
+    def test_segmentation_nll_shape(self):
+        """nll_loss handles [N, C, P] predictions (PointNet segmentation)."""
+        lp = F.log_softmax(nn.tensor(
+            rng.standard_normal((2, 5, 7)).astype(np.float32)), axis=1)
+        target = rng.integers(0, 5, size=(2, 7))
+        loss = F.nll_loss(lp, target)
+        assert np.isfinite(loss.item())

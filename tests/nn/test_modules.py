@@ -1,0 +1,179 @@
+"""Tests for the module system and layer zoo."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+rng = np.random.default_rng(11)
+
+
+class TestModuleSystem:
+    def test_parameter_registration_and_iteration(self):
+        layer = nn.Linear(4, 3)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_nested_module_parameter_names(self):
+        model = nn.Sequential(nn.Linear(2, 4), nn.ReLU(), nn.Linear(4, 1))
+        names = [n for n, _ in model.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears(self):
+        layer = nn.Linear(3, 2)
+        out = layer(nn.randn(4, 3)).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a = nn.Sequential(nn.Linear(3, 3), nn.BatchNorm1d(3))
+        b = nn.Sequential(nn.Linear(3, 3), nn.BatchNorm1d(3))
+        b.load_state_dict(a.state_dict())
+        for (n1, p1), (n2, p2) in zip(a.named_parameters(),
+                                      b.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_load_state_dict_strict_rejects_unknown_keys(self):
+        layer = nn.Linear(2, 2)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"nonexistent": np.zeros(2)})
+
+    def test_buffers_are_tracked(self):
+        bn = nn.BatchNorm2d(4)
+        buffer_names = [n for n, _ in bn.named_buffers()]
+        assert "running_mean" in buffer_names and "running_var" in buffer_names
+
+    def test_module_list(self):
+        ml = nn.ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        assert len(ml) == 3
+        assert len(list(ml[0].parameters())) == 2
+
+    def test_sequential_indexing_and_append(self):
+        seq = nn.Sequential(nn.Linear(2, 2))
+        seq.append(nn.ReLU())
+        assert isinstance(seq[1], nn.ReLU)
+        assert len(seq) == 2
+
+    def test_identity_passthrough(self):
+        x = nn.randn(2, 3)
+        np.testing.assert_array_equal(nn.Identity()(x).data, x.data)
+
+
+class TestLayers:
+    def test_linear_shapes_and_no_bias(self):
+        layer = nn.Linear(6, 4, bias=False)
+        assert layer.bias is None
+        assert layer(nn.randn(5, 6)).shape == (5, 4)
+
+    def test_conv2d_depthwise(self):
+        conv = nn.Conv2d(4, 4, 3, padding=1, groups=4)
+        assert conv.weight.shape == (4, 1, 3, 3)
+        assert conv(nn.randn(2, 4, 8, 8)).shape == (2, 4, 8, 8)
+
+    def test_conv1d_forward_shape(self):
+        conv = nn.Conv1d(3, 16, 1)
+        assert conv(nn.randn(2, 3, 50)).shape == (2, 16, 50)
+
+    def test_conv_transpose2d_upsamples(self):
+        deconv = nn.ConvTranspose2d(8, 4, 4, stride=2, padding=1)
+        assert deconv(nn.randn(1, 8, 8, 8)).shape == (1, 4, 16, 16)
+
+    def test_conv_rejects_indivisible_groups(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 4, 3, groups=2)
+
+    def test_batchnorm2d_shape_validation(self):
+        bn = nn.BatchNorm2d(8)
+        with pytest.raises(ValueError):
+            bn(nn.randn(2, 4, 3, 3))
+
+    def test_batchnorm1d_accepts_2d_and_3d(self):
+        bn = nn.BatchNorm1d(6)
+        assert bn(nn.randn(4, 6)).shape == (4, 6)
+        assert bn(nn.randn(4, 6, 10)).shape == (4, 6, 10)
+
+    def test_layernorm_normalizes_last_dim(self):
+        ln = nn.LayerNorm(16)
+        out = ln(nn.randn(3, 5, 16))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-4)
+
+    def test_embedding_output_shape(self):
+        emb = nn.Embedding(20, 8)
+        assert emb(np.array([[1, 2, 3]])).shape == (1, 3, 8)
+
+    def test_maxpool1d(self):
+        pool = nn.MaxPool1d(2)
+        x = nn.tensor(np.arange(8, dtype=np.float32).reshape(1, 1, 8))
+        np.testing.assert_allclose(pool(x).data.reshape(-1), [1, 3, 5, 7])
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+    def test_multihead_attention_shape_and_grad(self):
+        attn = nn.MultiheadAttention(16, 4, dropout=0.0)
+        x = nn.randn(2, 6, 16, requires_grad=True)
+        out = attn(x)
+        assert out.shape == (2, 6, 16)
+        (out * out).mean().backward()
+        assert attn.q_proj.weight.grad is not None
+
+    def test_multihead_attention_rejects_bad_heads(self):
+        with pytest.raises(ValueError):
+            nn.MultiheadAttention(10, 3)
+
+    def test_transformer_encoder_layer(self):
+        layer = nn.TransformerEncoderLayer(16, 2, 32, dropout=0.0)
+        out = layer(nn.randn(2, 5, 16))
+        assert out.shape == (2, 5, 16)
+
+    def test_loss_modules_match_functional(self):
+        logits = nn.randn(4, 6)
+        target = rng.integers(0, 6, size=4)
+        from repro.nn import functional as F
+        assert nn.CrossEntropyLoss()(logits, target).item() == pytest.approx(
+            F.cross_entropy(logits, target).item())
+
+    def test_loss_reduction_validation(self):
+        with pytest.raises(ValueError):
+            nn.MSELoss(reduction="bogus")
+
+
+class TestInit:
+    def test_kaiming_uniform_bounds(self):
+        from repro.nn import init
+        w = nn.zeros(64, 32)
+        init.kaiming_uniform_(w, generator=np.random.default_rng(0))
+        assert w.data.std() > 0
+        bound = np.sqrt(2.0 / (1 + 5)) * np.sqrt(3.0 / 32)
+        assert np.abs(w.data).max() <= bound + 1e-6
+
+    def test_xavier_normal_std(self):
+        from repro.nn import init
+        w = nn.zeros(500, 500)
+        init.xavier_normal_(w, generator=np.random.default_rng(0))
+        assert w.data.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_constant_and_zeros(self):
+        from repro.nn import init
+        w = nn.randn(3, 3)
+        init.constant_(w, 2.5)
+        assert np.all(w.data == 2.5)
+        init.zeros_(w)
+        assert np.all(w.data == 0)
+
+    def test_calculate_gain(self):
+        from repro.nn import init
+        assert init.calculate_gain("relu") == pytest.approx(np.sqrt(2))
+        with pytest.raises(ValueError):
+            init.calculate_gain("not_an_activation")
