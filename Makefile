@@ -1,0 +1,30 @@
+# Repro build/test entry points. Everything runs from the repo root with
+# PYTHONPATH=src; no installation required.
+
+PY ?= python
+PYTEST = PYTHONPATH=src $(PY) -m pytest
+
+.PHONY: test bench docs-check examples
+
+# tier-1 verify: the whole suite, fail fast
+test:
+	$(PYTEST) -x -q
+
+# benchmark harness only, verbose so the reproduced tables/figures print
+bench:
+	$(PYTEST) benchmarks/ -q -s
+
+# docs sanity: the architecture walkthrough and README exist, and every
+# module they promise is importable
+docs-check:
+	@test -f README.md || (echo "README.md missing" && exit 1)
+	@test -f docs/architecture.md || (echo "docs/architecture.md missing" && exit 1)
+	PYTHONPATH=src $(PY) -c "import repro, repro.hfta, repro.hfht, \
+	repro.hwsim, repro.cluster, repro.runtime, repro.models, repro.data; \
+	print('docs-check: all documented packages import cleanly')"
+
+# run every example end-to-end (runtime_serving asserts serial equivalence)
+examples:
+	PYTHONPATH=src $(PY) examples/quickstart.py
+	PYTHONPATH=src $(PY) examples/runtime_serving.py
+	PYTHONPATH=src $(PY) examples/partial_fusion.py

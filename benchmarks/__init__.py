@@ -1,0 +1,6 @@
+"""Benchmark harness regenerating the paper's tables and figures.
+
+This directory is a proper package so that its modules can share helpers
+via ``from .conftest import ...`` regardless of pytest's import mode; run
+it with ``PYTHONPATH=src python -m pytest benchmarks/ -q``.
+"""

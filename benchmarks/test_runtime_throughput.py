@@ -1,0 +1,129 @@
+"""Runtime serving throughput: dynamic batching packs a job stream tightly.
+
+The dynamic training-array runtime (:mod:`repro.runtime`) is this repo's
+production layer on top of the paper: it takes a live stream of training
+jobs and packs fusible ones into width-capped arrays.  This benchmark
+serves a 12-job sweep stream, reports the runtime's occupancy/throughput
+counters (same conventions as the Figure 7/14 counter benchmarks), and
+maps the resulting packing onto the analytical hardware model to check the
+GPU-hour win the paper predicts for fused execution (Figures 4/8).
+"""
+
+import numpy as np
+import pytest
+
+from repro import hwsim, nn
+from repro.hfta.ops.factory import OpsLibrary
+from repro.runtime import ArrayPolicy, TrainingArrayEngine, TrainingJob
+from .conftest import print_table
+
+NUM_JOBS = 12
+WIDTH_CAP = 4
+STEPS = 8
+BATCH = 16
+FEATURES, HIDDEN, CLASSES = 32, 48, 10
+
+
+class SweepMLP(nn.Module):
+    """The repetitive job of the benchmark's synthetic sweep."""
+
+    def __init__(self, num_models=None, generator=None):
+        super().__init__()
+        lib = self.lib = OpsLibrary(num_models)
+        self.fc1 = lib.Linear(FEATURES, HIDDEN, generator=generator)
+        self.fc2 = lib.Linear(HIDDEN, CLASSES, generator=generator)
+        self.relu = lib.ReLU()
+
+    def fuse_inputs(self, features):
+        return self.lib.fuse_dense_inputs(features)
+
+    def forward(self, x):
+        return self.fc2(self.relu(self.fc1(x)))
+
+
+def job_stream(seed):
+    rng = np.random.default_rng(seed)
+    batches = [(rng.standard_normal((BATCH, FEATURES)).astype(np.float32),
+                rng.integers(0, CLASSES, size=BATCH))
+               for _ in range(STEPS)]
+    return lambda step: batches[step]
+
+
+def serve_sweep():
+    engine = TrainingArrayEngine(policy=ArrayPolicy(max_width=WIDTH_CAP))
+    for i in range(NUM_JOBS):
+        engine.submit(TrainingJob(
+            name=f"sweep_lr{1e-3 * (i + 1):.0e}", seed=i, steps=STEPS,
+            config={"lr": 1e-3 * (i + 1), "optimizer": "adam"},
+            build_model=lambda B=None, g=None: SweepMLP(B, g),
+            data=job_stream(700 + i)))
+    engine.run_until_idle()
+    return engine.metrics
+
+
+def simulated_gpu_seconds(workload, device, mode, array_widths):
+    """GPU seconds to run the sweep with the given per-array widths."""
+    total = 0.0
+    for width in array_widths:
+        result = hwsim.simulate(workload, device, mode, width, "amp")
+        assert result.fits
+        samples = STEPS * workload.batch_size * width
+        total += samples / result.throughput
+    return total
+
+
+def test_runtime_packs_stream_and_saves_simulated_gpu_hours(benchmark):
+    metrics = benchmark.pedantic(serve_sweep, rounds=1, iterations=1)
+
+    rows, header = metrics.report()
+    print_table(f"Runtime packing of a {NUM_JOBS}-job sweep "
+                f"(width cap {WIDTH_CAP})", rows, header=header)
+
+    # The stream is packed into ceil(12 / 4) = 3 full arrays.
+    assert metrics.jobs_completed == NUM_JOBS
+    assert metrics.arrays_launched == NUM_JOBS // WIDTH_CAP
+    assert metrics.occupancy == pytest.approx(1.0)
+    assert metrics.models_per_array == pytest.approx(WIDTH_CAP)
+    assert metrics.serial_steps_saved == STEPS * (NUM_JOBS -
+                                                  metrics.arrays_launched)
+    assert metrics.throughput > 0
+
+    # Map the packing onto the analytical hardware model: the same arrays
+    # on a V100 vs one process per job (the paper's serial baseline).
+    workload = hwsim.get_workload("pointnet_cls")
+    widths = [record.num_models for record in metrics.records]
+    fused_s = simulated_gpu_seconds(workload, hwsim.V100, "hfta", widths)
+    serial_s = simulated_gpu_seconds(workload, hwsim.V100, "serial",
+                                     [1] * NUM_JOBS)
+    speedup = serial_s / fused_s
+    print_table("Simulated V100 GPU-seconds for the packed sweep",
+                [("serial", serial_s), ("hfta runtime", fused_s),
+                 ("speedup", speedup)], header=("schedule", "value"))
+
+    # Paper shape (Figure 4): fusing a repetitive sweep wins clearly.
+    assert speedup > 1.5
+
+
+def test_wider_width_cap_monotonically_improves_packing(benchmark):
+    """Occupancy-weighted packing: fewer arrays as the cap rises."""
+    def sweep_caps():
+        arrays = {}
+        for cap in (1, 2, 4, 8):
+            engine = TrainingArrayEngine(policy=ArrayPolicy(max_width=cap))
+            for i in range(8):
+                engine.submit(TrainingJob(
+                    name=f"capsweep_{i}", seed=i, steps=2,
+                    config={"lr": 1e-3, "optimizer": "adam"},
+                    build_model=lambda B=None, g=None: SweepMLP(B, g),
+                    data=job_stream(i)))
+            engine.run_until_idle()
+            arrays[cap] = engine.metrics.arrays_launched
+        return arrays
+
+    arrays = benchmark.pedantic(sweep_caps, rounds=1, iterations=1)
+    print_table("Arrays launched for an 8-job stream vs width cap",
+                sorted(arrays.items()), header=("width cap", "arrays"))
+    assert arrays[1] == 8
+    assert arrays[8] == 1
+    counts = [arrays[cap] for cap in (1, 2, 4, 8)]
+    assert counts == sorted(counts, reverse=True)

@@ -24,6 +24,14 @@ Top-level subpackages
 ``repro.hfht``
     Horizontally Fused Hyper-parameter Tuning: random search and Hyperband
     integrated with HFTA/MPS/concurrent/serial job scheduling (Figure 8).
+``repro.runtime``
+    Dynamic training-array runtime: accepts a live stream of heterogeneous
+    training jobs, batches fusible ones into width-capped arrays (falling
+    back to partial fusion), trains them, and hands back serial-equivalent
+    checkpoints with throughput/occupancy accounting.
+
+See ``docs/architecture.md`` for the layer-by-layer walkthrough and the
+data-flow diagram connecting these subpackages.
 """
 
 __version__ = "1.0.0"

@@ -11,13 +11,13 @@ from .jobs import JobRecord, JOB_CATEGORIES
 from .levenshtein import levenshtein_distance, normalized_similarity
 from .generator import TraceConfig, generate_trace
 from .classifier import (ClassifierConfig, classify_jobs, usage_breakdown,
-                         classification_accuracy)
+                         classification_accuracy, workload_signature)
 from .analysis import JobUtilizationSample, sample_repetitive_utilization
 
 __all__ = [
     "JobRecord", "JOB_CATEGORIES", "levenshtein_distance",
     "normalized_similarity", "TraceConfig", "generate_trace",
     "ClassifierConfig", "classify_jobs", "usage_breakdown",
-    "classification_accuracy", "JobUtilizationSample",
-    "sample_repetitive_utilization",
+    "classification_accuracy", "workload_signature",
+    "JobUtilizationSample", "sample_repetitive_utilization",
 ]

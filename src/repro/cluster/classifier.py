@@ -17,6 +17,7 @@ distributed; remaining single-GPU jobs are isolated; everything else is
 
 from __future__ import annotations
 
+import re
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
@@ -27,7 +28,7 @@ from .jobs import JOB_CATEGORIES, JobRecord
 from .levenshtein import normalized_similarity
 
 __all__ = ["ClassifierConfig", "classify_jobs", "usage_breakdown",
-           "classification_accuracy"]
+           "classification_accuracy", "workload_signature"]
 
 
 @dataclass
@@ -69,6 +70,24 @@ def _similar_name_cluster(group: Sequence[JobRecord],
     cluster = [job for job in group
                if normalized_similarity(seed.name, job.name) >= threshold]
     return cluster if len(cluster) >= 2 else []
+
+
+_VALUE_RUN = re.compile(r"\d+(?:\.\d+)?(?:e[+-]?\d+)?")
+
+
+def workload_signature(name: str, user: str = "") -> str:
+    """Canonical workload key of a job name, for cheap pre-grouping.
+
+    The repetitive jobs the paper targets differ only in small value
+    variations inside otherwise identical names (``train_lr0.01_bs32`` vs
+    ``train_lr0.003_bs64``, Appendix A).  Collapsing every numeric run to a
+    ``#`` placeholder maps all of a sweep's jobs to one key, so consumers —
+    in particular the training-array runtime's batcher — can bucket a live
+    job stream by workload in O(n) instead of O(n^2) pairwise
+    Levenshtein comparisons.
+    """
+    canonical = _VALUE_RUN.sub("#", name.strip().lower())
+    return f"{user}:{canonical}" if user else canonical
 
 
 def classify_jobs(jobs: Iterable[JobRecord],

@@ -9,7 +9,8 @@ horizontally fused job, drastically reducing the total GPU hours of a sweep
 
 from .space import (HyperParameter, SearchSpace, pointnet_search_space,
                     mobilenet_search_space)
-from .partition import Partition, partition_and_fuse, unfuse_and_reorder
+from .partition import (Partition, partition_and_fuse, split_oversized,
+                        unfuse_and_reorder)
 from .algorithms import Trial, TuningAlgorithm, RandomSearch, Hyperband
 from .surrogate import surrogate_accuracy
 from .scheduler import JobScheduler, SchedulerResult, SCHEDULER_MODES
@@ -18,7 +19,8 @@ from .tuner import HFHT, TuningOutcome
 __all__ = [
     "HyperParameter", "SearchSpace", "pointnet_search_space",
     "mobilenet_search_space", "Partition", "partition_and_fuse",
-    "unfuse_and_reorder", "Trial", "TuningAlgorithm", "RandomSearch",
+    "split_oversized", "unfuse_and_reorder", "Trial", "TuningAlgorithm",
+    "RandomSearch",
     "Hyperband", "surrogate_accuracy", "JobScheduler", "SchedulerResult",
     "SCHEDULER_MODES", "HFHT", "TuningOutcome",
 ]

@@ -17,7 +17,8 @@ from typing import Dict, List, Sequence, Tuple
 
 from .space import SearchSpace, Value
 
-__all__ = ["Partition", "partition_and_fuse", "unfuse_and_reorder"]
+__all__ = ["Partition", "partition_and_fuse", "split_oversized",
+           "unfuse_and_reorder"]
 
 
 @dataclass
@@ -53,15 +54,29 @@ def partition_and_fuse(configs: Sequence[Dict[str, Value]],
 
     partitions = list(groups.values())
     if max_fusion and max_fusion > 0:
-        split: List[Partition] = []
-        for part in partitions:
-            for start in range(0, part.num_models, max_fusion):
-                split.append(Partition(
-                    infusible_values=part.infusible_values,
-                    configs=part.configs[start:start + max_fusion],
-                    original_indices=part.original_indices[start:start + max_fusion]))
-        partitions = split
+        partitions = split_oversized(partitions, max_fusion)
     return partitions
+
+
+def split_oversized(partitions: Sequence[Partition],
+                    max_fusion: int) -> List[Partition]:
+    """Split partitions wider than ``max_fusion`` into capacity-sized chunks.
+
+    This is HFHT's partial-fusion fallback (paper Appendix E): a fusible
+    cohort that does not fit on the device as one array is evaluated as
+    several narrower arrays.  The training-array runtime reuses it to honor
+    its width cap (:mod:`repro.runtime.policy`).
+    """
+    if max_fusion < 1:
+        raise ValueError("max_fusion must be >= 1")
+    split: List[Partition] = []
+    for part in partitions:
+        for start in range(0, part.num_models, max_fusion):
+            split.append(Partition(
+                infusible_values=part.infusible_values,
+                configs=part.configs[start:start + max_fusion],
+                original_indices=part.original_indices[start:start + max_fusion]))
+    return split
 
 
 def unfuse_and_reorder(partitions: Sequence[Partition],

@@ -115,13 +115,25 @@ class JobScheduler:
             gpu_hours += self._epoch_hours(self.mode, len(wave), epochs)
         return SchedulerResult(results, gpu_hours, len(trials))
 
+    def fused_capacity(self) -> int:
+        """Largest array width that fits on the device under HFTA."""
+        return max_models(self.workload, self.device, "hfta", self.precision)
+
+    def plan_batch(self, trials: Sequence[Trial]) -> List[Partition]:
+        """Partition a batch of trials into device-sized fusible arrays.
+
+        This is the planning half of the ``hfta`` scheduling mode, exposed
+        separately so that other schedulers — in particular the dynamic
+        training-array runtime (:mod:`repro.runtime`) — can reuse HFHT's
+        partitioning without committing to its execution model.
+        """
+        configs = [t.config for t in trials]
+        return partition_and_fuse(configs, self.space,
+                                  max_fusion=self.fused_capacity())
+
     def _run_fused(self, trials: Sequence[Trial]) -> SchedulerResult:
         """HFTA: partition by infusible hyper-parameters, fuse each partition."""
-        configs = [t.config for t in trials]
-        capacity = max_models(self.workload, self.device, "hfta",
-                              self.precision)
-        partitions = partition_and_fuse(configs, self.space,
-                                        max_fusion=capacity)
+        partitions = self.plan_batch(trials)
         # Trials within a partition may request different epoch budgets
         # (Hyperband); the fused job runs for the longest budget, and each
         # model simply stops updating after its own budget — the cost is the

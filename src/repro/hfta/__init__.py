@@ -24,10 +24,12 @@ from . import optim
 from .losses import (scale_fused_loss, FusedCrossEntropyLoss, FusedNLLLoss,
                      FusedMSELoss, FusedBCELoss)
 from .fusion import (load_from_unfused, export_to_unfused,
-                     validate_fusibility, fused_parameter_report)
+                     validate_fusibility, is_fusible, fusibility_error,
+                     structural_signature, fused_parameter_report)
 
 __all__ = [
     "ops", "optim", "scale_fused_loss", "FusedCrossEntropyLoss",
     "FusedNLLLoss", "FusedMSELoss", "FusedBCELoss", "load_from_unfused",
-    "export_to_unfused", "validate_fusibility", "fused_parameter_report",
+    "export_to_unfused", "validate_fusibility", "is_fusible",
+    "fusibility_error", "structural_signature", "fused_parameter_report",
 ]

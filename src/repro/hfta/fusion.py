@@ -19,13 +19,14 @@ This module provides the glue between *unfused* models (one
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..nn.modules.module import Module
 
 __all__ = ["load_from_unfused", "export_to_unfused", "validate_fusibility",
+           "is_fusible", "fusibility_error", "structural_signature",
            "fused_parameter_report"]
 
 
@@ -96,6 +97,50 @@ def export_to_unfused(fused: Module, index: int, template: Module) -> Module:
     return template
 
 
+def structural_signature(model: Module) -> Tuple[Tuple, Tuple]:
+    """A hashable fingerprint of a model's operator structure and shapes.
+
+    Two models are horizontally fusible exactly when their signatures are
+    equal (paper Section 3, first key observation).  The runtime batcher
+    uses the signature as a grouping key so that it does not have to compare
+    every pending job pairwise.
+    """
+    modules = tuple((name, type(m).__name__) for name, m in
+                    model.named_modules())
+    params = tuple((name, p.shape) for name, p in model.named_parameters())
+    return modules, params
+
+
+def fusibility_error(models: Sequence[Module]) -> Optional[str]:
+    """Describe the first structural mismatch, or ``None`` if fusible."""
+    if len(models) < 2:
+        return None
+    ref_modules, ref_params = structural_signature(models[0])
+    for i, other in enumerate(models[1:], start=1):
+        modules, params = structural_signature(other)
+        if modules != ref_modules:
+            return (f"model {i} has a different module structure than model 0 "
+                    f"(these jobs cannot be horizontally fused; HFHT would "
+                    f"place them in different partitions)")
+        if params != ref_params:
+            # zip() stops at the shorter list, so a strict-prefix mismatch
+            # (e.g. a missing bias) has no differing pair — report the count.
+            mismatch = next(((a, b) for a, b in zip(ref_params, params)
+                             if a != b), None)
+            if mismatch is None:
+                return (f"model {i} has {len(params)} parameters but model 0 "
+                        f"has {len(ref_params)} (e.g. a bias present in only "
+                        f"one of them)")
+            return (f"model {i} has a parameter shape mismatch vs model 0: "
+                    f"{mismatch[0]} vs {mismatch[1]}")
+    return None
+
+
+def is_fusible(models: Sequence[Module]) -> bool:
+    """Non-throwing fusibility predicate (used by the runtime batcher)."""
+    return fusibility_error(models) is None
+
+
 def validate_fusibility(models: Sequence[Module]) -> bool:
     """Check that ``B`` models have identical operator types and shapes.
 
@@ -104,24 +149,9 @@ def validate_fusibility(models: Sequence[Module]) -> bool:
     description of the first mismatch; returns ``True`` if the models are
     fusible.
     """
-    if len(models) < 2:
-        return True
-    reference = models[0]
-    ref_sig = [(name, type(m).__name__) for name, m in reference.named_modules()]
-    ref_params = [(name, p.shape) for name, p in reference.named_parameters()]
-    for i, other in enumerate(models[1:], start=1):
-        sig = [(name, type(m).__name__) for name, m in other.named_modules()]
-        if sig != ref_sig:
-            raise ValueError(
-                f"model {i} has a different module structure than model 0 "
-                f"(these jobs cannot be horizontally fused; HFHT would place "
-                f"them in different partitions)")
-        params = [(name, p.shape) for name, p in other.named_parameters()]
-        if params != ref_params:
-            mismatch = next((a, b) for a, b in zip(ref_params, params) if a != b)
-            raise ValueError(
-                f"model {i} has a parameter shape mismatch vs model 0: "
-                f"{mismatch[0]} vs {mismatch[1]}")
+    error = fusibility_error(models)
+    if error is not None:
+        raise ValueError(error)
     return True
 
 

@@ -1,0 +1,50 @@
+"""Dynamic training-array runtime: serve a live stream of training jobs.
+
+The layers below this package implement *static* horizontal fusion: you
+pick ``B`` identical models up front, call
+:func:`repro.hfta.load_from_unfused`, and train one array.  This package
+turns that library into a serving system — the piece a production ML
+platform (in the sense of Ratner et al.'s MLSys agenda) would put in front
+of a shared accelerator:
+
+* :mod:`repro.runtime.queue`   — async-friendly intake of
+  :class:`~repro.runtime.queue.TrainingJob` submissions;
+* :mod:`repro.runtime.batcher` — groups pending jobs into fusible cohorts
+  (workload signatures from :mod:`repro.cluster`, structural fusibility
+  from :mod:`repro.hfta.fusion`);
+* :mod:`repro.runtime.policy`  — sizes each array against a width cap and
+  the :mod:`repro.hwsim` memory model, splitting oversized cohorts with
+  HFHT's partial-fusion logic (:func:`repro.hfht.split_oversized`);
+* :mod:`repro.runtime.engine`  — trains each array (``load_from_unfused``
+  -> fused steps -> ``export_to_unfused``) and hands every job its
+  serial-equivalent checkpoint;
+* :mod:`repro.runtime.metrics` — throughput/occupancy counters in the
+  conventions of ``benchmarks/test_fig*_counters.py``.
+
+Quickstart::
+
+    from repro.runtime import TrainingArrayEngine, TrainingJob, ArrayPolicy
+
+    engine = TrainingArrayEngine(policy=ArrayPolicy(max_width=4))
+    for job in my_jobs:                   # heterogeneous TrainingJobs
+        engine.submit(job)
+    results = engine.run_until_idle()     # {job_id: JobResult}
+
+See ``docs/architecture.md`` (section "The runtime layer") for the full
+data-flow diagram and design rationale, and ``examples/runtime_serving.py``
+for an end-to-end serving session.
+"""
+
+from .queue import JobState, TrainingJob, SubmittedJob, JobQueue
+from .batcher import Batcher, Cohort, DEFAULT_INFUSIBLE_KEYS
+from .policy import ArrayPlan, ArrayPolicy
+from .engine import JobResult, TrainingArrayEngine
+from .metrics import ArrayRecord, RuntimeMetrics
+
+__all__ = [
+    "JobState", "TrainingJob", "SubmittedJob", "JobQueue",
+    "Batcher", "Cohort", "DEFAULT_INFUSIBLE_KEYS",
+    "ArrayPlan", "ArrayPolicy",
+    "JobResult", "TrainingArrayEngine",
+    "ArrayRecord", "RuntimeMetrics",
+]

@@ -1,0 +1,129 @@
+"""Fusibility-aware grouping of pending jobs into cohorts.
+
+The batcher answers the runtime's first scheduling question: *which* of the
+pending jobs may share one horizontally fused array.  Fusibility has three
+increasingly strict levels, and the batcher applies them as a funnel so the
+expensive check runs on as few candidates as possible:
+
+1. **Workload signature** (cheap, O(n)) — jobs are bucketed by
+   :func:`repro.cluster.workload_signature` of their names, the same
+   collapse-the-values heuristic the paper's Appendix A classifier uses to
+   spot repetitive submissions, plus the values of their *infusible*
+   hyper-parameters and their step budget (arrays are gang-scheduled).
+2. **Structural signature** (exact) — within a bucket, jobs are grouped by
+   :func:`repro.hfta.fusion.structural_signature` of their instantiated
+   serial template models; equal signatures are the paper's Section 3
+   precondition for horizontal fusion.
+3. **Validation** (safety net) — each final cohort is passed through
+   :func:`repro.hfta.fusion.validate_fusibility`, so a buggy signature can
+   never produce a corrupt array.
+
+The cohorts the batcher emits are *unbounded* in width; sizing them against
+the device is the policy's job (:mod:`repro.runtime.policy`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.classifier import workload_signature
+from ..hfta.fusion import structural_signature, validate_fusibility
+from ..nn.modules.module import Module
+from .queue import SubmittedJob
+
+__all__ = ["Cohort", "Batcher", "DEFAULT_INFUSIBLE_KEYS"]
+
+#: config keys treated as infusible when a job declares no search space —
+#: they change tensor shapes or the update rule itself.
+DEFAULT_INFUSIBLE_KEYS = ("batch_size", "optimizer", "version",
+                          "feature_transform")
+
+
+@dataclass
+class Cohort:
+    """One fusible group of jobs, with their instantiated serial templates.
+
+    ``templates[i]`` is ``jobs[i].job.build_model(None, rng(seed))`` — the
+    deterministically initialized unfused model whose weights seed slot
+    ``i`` of the fused array (and whose structure proved the cohort
+    fusible).  The engine reuses them for ``load_from_unfused`` so every
+    model is built exactly once.
+    """
+
+    signature: str
+    infusible_values: Tuple[Tuple[str, object], ...]
+    steps: int
+    jobs: List[SubmittedJob] = field(default_factory=list)
+    templates: List[Module] = field(default_factory=list)
+
+    @property
+    def num_models(self) -> int:
+        return len(self.jobs)
+
+
+class Batcher:
+    """Groups pending jobs into fusible cohorts."""
+
+    def __init__(self, infusible_keys: Sequence[str] = DEFAULT_INFUSIBLE_KEYS):
+        self.infusible_keys = tuple(infusible_keys)
+
+    # ------------------------------------------------------------------ #
+    def infusible_values(self, sub: SubmittedJob
+                         ) -> Tuple[Tuple[str, object], ...]:
+        """The job's infusible hyper-parameter values, as a hashable key."""
+        job = sub.job
+        if job.space is not None:
+            names = job.space.infusible_names()
+        else:
+            names = [k for k in self.infusible_keys if k in job.config]
+        return tuple((name, job.config.get(name)) for name in names)
+
+    @staticmethod
+    def build_template(sub: SubmittedJob) -> Module:
+        """Instantiate the job's seeded, unfused template model."""
+        generator = np.random.default_rng(sub.job.seed)
+        return sub.job.build_model(None, generator)
+
+    # ------------------------------------------------------------------ #
+    def form_cohorts(self, batch: Sequence[SubmittedJob]
+                     ) -> Tuple[List[Cohort], List[Tuple[SubmittedJob, str]]]:
+        """Partition a batch of scheduled jobs into fusible cohorts.
+
+        Returns the cohorts plus the jobs whose template model could not be
+        built (with the build error), so one malformed job cannot poison the
+        rest of its batch.
+        """
+        groups: "OrderedDict[Tuple, Cohort]" = OrderedDict()
+        failures: List[Tuple[SubmittedJob, str]] = []
+        for sub in batch:
+            job = sub.job
+            try:
+                template = self.build_template(sub)
+            except Exception as exc:  # noqa: BLE001 — job-provided builder
+                failures.append((sub, f"build_model failed: {exc}"))
+                continue
+            infusible = self.infusible_values(sub)
+            key = (
+                workload_signature(job.name),     # level 1: cheap name bucket
+                infusible,                        # shared infusible values
+                job.steps,                        # gang-scheduled budget
+                job.loss,
+                structural_signature(template),   # level 2: exact structure
+                # quarantined retries train alone (see SubmittedJob.solo)
+                sub.job_id if sub.solo else None,
+            )
+            if key not in groups:
+                groups[key] = Cohort(signature=workload_signature(job.name),
+                                     infusible_values=infusible,
+                                     steps=job.steps)
+            groups[key].jobs.append(sub)
+            groups[key].templates.append(template)
+
+        cohorts = list(groups.values())
+        for cohort in cohorts:
+            validate_fusibility(cohort.templates)  # level 3: safety net
+        return cohorts, failures

@@ -1,0 +1,238 @@
+"""The training-array engine: drains the queue, trains fused arrays.
+
+One :meth:`TrainingArrayEngine.run_until_idle` cycle is the runtime's whole
+data path::
+
+    queue.pop_pending()                      (queue.py)
+      -> batcher.form_cohorts()              (batcher.py)   which jobs fuse?
+      -> policy.plan()                       (policy.py)    how wide?
+      -> _train_array() per plan             (this module)
+           load_from_unfused(templates)      (hfta.fusion)
+           fused forward/backward/step  x steps
+           export_to_unfused -> JobResult    (hfta.fusion)
+      -> metrics.record_array()              (metrics.py)
+
+Because every HFTA transformation is mathematically equivalent and arrays
+are gang-scheduled (equal step budgets, each job on its own data stream),
+the checkpoint a job gets back is the one serial training would have
+produced — the runtime changes *when and with whom* a job trains, never
+*what* it learns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..hfta import losses as fused_losses
+from ..hfta import optim as fused_optim
+from ..hfta.fusion import export_to_unfused, load_from_unfused, \
+    validate_fusibility
+from ..nn.modules.module import Module
+from .batcher import Batcher
+from .metrics import ArrayRecord, RuntimeMetrics
+from .policy import ArrayPlan, ArrayPolicy
+from .queue import JobQueue, SubmittedJob, TrainingJob
+
+__all__ = ["JobResult", "TrainingArrayEngine"]
+
+_CRITERIA = {
+    "cross_entropy": fused_losses.FusedCrossEntropyLoss,
+    "nll": fused_losses.FusedNLLLoss,
+    "mse": fused_losses.FusedMSELoss,
+}
+
+#: fusible hyper-parameter keys forwarded to each optimizer as per-model
+#: vectors: config key -> (constructor keyword, default).  The defaults
+#: mirror the optimizer constructors', so a job that omits a key gets the
+#: same value it would get training alone — even inside an array where a
+#: cohort-mate sets it.
+_OPTIMIZERS = {
+    "adam": (fused_optim.Adam,
+             {"lr": ("lr", 1e-3), "weight_decay": ("weight_decay", 0.0),
+              "eps": ("eps", 1e-8)}),
+    "adamw": (fused_optim.AdamW,
+              {"lr": ("lr", 1e-3), "weight_decay": ("weight_decay", 0.01),
+               "eps": ("eps", 1e-8)}),
+    "sgd": (fused_optim.SGD,
+            {"lr": ("lr", 0.01), "momentum": ("momentum", 0.0),
+             "weight_decay": ("weight_decay", 0.0)}),
+    "adadelta": (fused_optim.Adadelta,
+                 {"lr": ("lr", 1.0), "rho": ("rho", 0.9),
+                  "weight_decay": ("weight_decay", 0.0)}),
+}
+
+
+@dataclass
+class JobResult:
+    """What a finished job gets back from the runtime."""
+
+    job_id: int
+    name: str
+    checkpoint: Module          # unfused model holding the trained weights
+    loss_curve: List[float]     # the job's own per-step training loss
+    array_id: int               # which fused array trained it
+    slot: int                   # its slot within that array
+    array_width: int            # how many jobs shared the array
+
+
+class TrainingArrayEngine:
+    """Serves a stream of training jobs by horizontally fusing them."""
+
+    def __init__(self, policy: Optional[ArrayPolicy] = None,
+                 batcher: Optional[Batcher] = None,
+                 metrics: Optional[RuntimeMetrics] = None,
+                 queue: Optional[JobQueue] = None):
+        self.queue = queue or JobQueue()
+        self.batcher = batcher or Batcher()
+        self.policy = policy or ArrayPolicy()
+        self.metrics = metrics or RuntimeMetrics()
+        self._next_array_id = 0
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(self, job: TrainingJob) -> int:
+        """Accept a job for the next scheduling cycle; returns its id."""
+        job_id = self.queue.submit(job)
+        self.metrics.record_submit()
+        return job_id
+
+    def submit_all(self, jobs: Sequence[TrainingJob]) -> List[int]:
+        return [self.submit(job) for job in jobs]
+
+    # ------------------------------------------------------------------ #
+    # scheduling cycles
+    # ------------------------------------------------------------------ #
+    def run_cycle(self, max_jobs: int = 0) -> List[JobResult]:
+        """Drain up to ``max_jobs`` pending jobs through one batching cycle."""
+        batch = self.queue.pop_pending(max_jobs)
+        if not batch:
+            return []
+        cohorts, failures = self.batcher.form_cohorts(batch)
+        for sub, error in failures:
+            self.queue.mark_failed(sub, error)
+            self.metrics.record_failure()
+
+        results: List[JobResult] = []
+        for plan in self.policy.plan(cohorts):
+            results.extend(self._train_array(plan))
+        return results
+
+    def run_until_idle(self) -> Dict[int, JobResult]:
+        """Run cycles until the queue is empty; results keyed by job id."""
+        results: Dict[int, JobResult] = {}
+        while self.queue.pending_count:
+            for result in self.run_cycle():
+                results[result.job_id] = result
+        return results
+
+    # ------------------------------------------------------------------ #
+    # fused training
+    # ------------------------------------------------------------------ #
+    def _make_optimizer(self, fused: Module, plan: ArrayPlan):
+        """Build the fused optimizer with per-model hyper-parameter vectors."""
+        configs = [sub.job.config for sub in plan.jobs]
+        name = str(configs[0].get("optimizer", "adam")).lower()
+        if name not in _OPTIMIZERS:
+            raise ValueError(f"unknown optimizer '{name}'; choose from "
+                             f"{sorted(_OPTIMIZERS)}")
+        cls, vector_keys = _OPTIMIZERS[name]
+        kwargs = {}
+        for key, (kw, default) in vector_keys.items():
+            if any(key in c for c in configs):
+                kwargs[kw] = [c.get(key, default) for c in configs]
+        if name in ("adam", "adamw") and any(
+                "adam_beta1" in c or "adam_beta2" in c for c in configs):
+            kwargs["betas"] = ([c.get("adam_beta1", 0.9) for c in configs],
+                               [c.get("adam_beta2", 0.999) for c in configs])
+        return cls(fused.parameters(), num_models=plan.num_models, **kwargs)
+
+    def _train_array(self, plan: ArrayPlan) -> List[JobResult]:
+        """Train one fused array and hand every job its checkpoint.
+
+        A failing multi-job array does not fail its jobs outright: they are
+        requeued in quarantine (``solo``) and retried as width-1 arrays on
+        the next cycle, so one bad job — e.g. a data stream whose batches
+        don't match its cohort's — cannot take healthy cohort-mates down.
+        Only a width-1 failure is terminal.
+        """
+        jobs = plan.jobs
+        try:
+            return self._train_array_inner(plan)
+        except Exception as exc:  # noqa: BLE001 — isolate array failures
+            self.metrics.record_array_failure()
+            if plan.num_models > 1:
+                for sub in reversed(jobs):
+                    sub.solo = True
+                    self.queue.requeue(sub)
+                return []
+            for sub in jobs:
+                self.queue.mark_failed(sub, str(exc))
+            self.metrics.record_failure(len(jobs))
+            return []
+
+    def _train_array_inner(self, plan: ArrayPlan) -> List[JobResult]:
+        jobs, templates = plan.jobs, plan.templates
+        num_models = plan.num_models
+        array_id = self._next_array_id
+        self._next_array_id += 1
+        for sub in jobs:
+            self.queue.mark_running(sub)
+
+        validate_fusibility(templates)
+        fused = jobs[0].job.build_model(num_models, None)
+        if not hasattr(fused, "fuse_inputs"):
+            raise TypeError(
+                f"fused model {type(fused).__name__} has no 'fuse_inputs'; "
+                f"build models through repro.hfta.ops.factory.OpsLibrary "
+                f"(see repro.models for examples)")
+        load_from_unfused(fused, templates)
+
+        optimizer = self._make_optimizer(fused, plan)
+        loss_key = jobs[0].job.loss
+        if loss_key not in _CRITERIA:
+            raise ValueError(f"unknown loss '{loss_key}'; choose from "
+                             f"{sorted(_CRITERIA)}")
+        criterion = _CRITERIA[loss_key](num_models)
+
+        curves: List[List[float]] = [[] for _ in range(num_models)]
+        samples = 0
+        start = time.perf_counter()
+        for step in range(plan.steps):
+            batches = [sub.job.data(step) for sub in jobs]
+            inputs = [nn.tensor(np.asarray(x, dtype=np.float32))
+                      for x, _ in batches]
+            targets = np.stack([y for _, y in batches])
+            optimizer.zero_grad()
+            out = fused(fused.fuse_inputs(inputs))
+            loss = criterion(out, targets)
+            loss.backward()
+            optimizer.step()
+            per_model = criterion.per_model(out, targets)
+            for b in range(num_models):
+                curves[b].append(float(per_model[b]))
+            samples += sum(len(y) for _, y in batches)
+        seconds = time.perf_counter() - start
+
+        results: List[JobResult] = []
+        for slot, sub in enumerate(jobs):
+            # Reuse the template as the checkpoint container: its structure
+            # already matches and its initial weights are no longer needed.
+            checkpoint = export_to_unfused(fused, slot, templates[slot])
+            result = JobResult(job_id=sub.job_id, name=sub.job.name,
+                               checkpoint=checkpoint, loss_curve=curves[slot],
+                               array_id=array_id, slot=slot,
+                               array_width=num_models)
+            self.queue.mark_completed(sub, result)
+            results.append(result)
+
+        self.metrics.record_array(ArrayRecord(
+            array_id=array_id, signature=plan.cohort.signature,
+            num_models=num_models, width_cap=plan.width_cap,
+            steps=plan.steps, samples=samples, seconds=seconds))
+        return results

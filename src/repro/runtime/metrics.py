@@ -1,0 +1,148 @@
+"""Throughput and occupancy accounting for the training-array runtime.
+
+The counters follow the conventions of the paper-reproduction benchmark
+harness (``benchmarks/test_fig*_counters.py``): each fused array contributes
+one record, aggregates expose the quantities the paper's figures report
+(training throughput in samples/s as in Figures 4-5, array occupancy as the
+runtime analogue of the Figure 7/14 utilization counters, jobs-per-array as
+the fusion ratio), and :meth:`RuntimeMetrics.report` emits rows directly
+printable by the harness's ``print_table``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["ArrayRecord", "RuntimeMetrics"]
+
+
+@dataclass(frozen=True)
+class ArrayRecord:
+    """Accounting for one launched fused array."""
+
+    array_id: int
+    signature: str        # cohort workload signature
+    num_models: int       # array width actually launched
+    width_cap: int        # policy limit at launch time
+    steps: int            # gang-scheduled step budget
+    samples: int          # total training samples processed (all models)
+    seconds: float        # wall-clock training time
+
+    @property
+    def occupancy(self) -> float:
+        return self.num_models / self.width_cap
+
+    @property
+    def throughput(self) -> float:
+        """Training throughput in samples/s (Figure 4/5 convention)."""
+        return self.samples / self.seconds if self.seconds > 0 else 0.0
+
+
+class RuntimeMetrics:
+    """Aggregated runtime counters."""
+
+    def __init__(self):
+        # submissions may come from any thread (see JobQueue), so counter
+        # updates take a lock
+        self._lock = threading.Lock()
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.arrays_failed = 0
+        self.records: List[ArrayRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record_submit(self, count: int = 1) -> None:
+        with self._lock:
+            self.jobs_submitted += count
+
+    def record_array(self, record: ArrayRecord) -> None:
+        with self._lock:
+            self.records.append(record)
+            self.jobs_completed += record.num_models
+
+    def record_failure(self, count: int = 1) -> None:
+        with self._lock:
+            self.jobs_failed += count
+
+    def record_array_failure(self) -> None:
+        """An array launch that raised (its jobs retry solo or fail)."""
+        with self._lock:
+            self.arrays_failed += 1
+
+    # ------------------------------------------------------------------ #
+    # aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def arrays_launched(self) -> int:
+        return len(self.records)
+
+    @property
+    def fused_steps(self) -> int:
+        return sum(r.steps for r in self.records)
+
+    @property
+    def serial_steps_saved(self) -> int:
+        """Steps a serial runtime would have executed minus fused steps."""
+        return sum(r.steps * (r.num_models - 1) for r in self.records)
+
+    @property
+    def samples_processed(self) -> int:
+        return sum(r.samples for r in self.records)
+
+    @property
+    def train_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    @property
+    def throughput(self) -> float:
+        """Overall training throughput in samples/s."""
+        seconds = self.train_seconds
+        return self.samples_processed / seconds if seconds > 0 else 0.0
+
+    @property
+    def models_per_array(self) -> float:
+        """Mean array width (the fusion ratio; 1.0 means no fusion)."""
+        if not self.records:
+            return 0.0
+        return sum(r.num_models for r in self.records) / len(self.records)
+
+    @property
+    def occupancy(self) -> float:
+        """Step-weighted mean fraction of the width cap arrays filled."""
+        weight = sum(r.steps for r in self.records)
+        if weight == 0:
+            return 0.0
+        return sum(r.occupancy * r.steps for r in self.records) / weight
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "arrays_launched": self.arrays_launched,
+            "arrays_failed": self.arrays_failed,
+            "models_per_array": self.models_per_array,
+            "occupancy": self.occupancy,
+            "fused_steps": self.fused_steps,
+            "serial_steps_saved": self.serial_steps_saved,
+            "samples_processed": self.samples_processed,
+            "train_seconds": self.train_seconds,
+            "throughput_samples_per_s": self.throughput,
+        }
+
+    def report(self) -> Tuple[List[Tuple], Tuple[str, ...]]:
+        """Per-array rows + header, printable by the benchmark harness."""
+        header = ("array", "signature", "models", "cap", "occupancy",
+                  "steps", "samples", "samples/s")
+        rows = [(r.array_id, r.signature[:14], r.num_models, r.width_cap,
+                 r.occupancy, r.steps, r.samples, r.throughput)
+                for r in self.records]
+        return rows, header

@@ -1,0 +1,204 @@
+"""Job intake for the dynamic training-array runtime.
+
+A :class:`TrainingJob` is the runtime's unit of work: one would-be serial
+training job — a model builder, a hyper-parameter configuration, a private
+data stream and a step budget.  The :class:`JobQueue` accepts a live stream
+of such jobs and hands the engine batches of pending work.
+
+The queue is *async-friendly* rather than threaded: every operation is
+non-blocking and guarded by a lock, so producers (request handlers, an HFHT
+tuner proposing trials, a cluster-trace replayer) can submit from any thread
+or event loop while a single engine drains it.  Job lifecycle::
+
+    QUEUED -> SCHEDULED -> RUNNING -> COMPLETED | FAILED
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..hfht.space import SearchSpace, Value
+from ..nn.modules.module import Module
+
+__all__ = ["JobState", "TrainingJob", "SubmittedJob", "JobQueue"]
+
+
+class JobState:
+    """Lifecycle states of a submitted job."""
+
+    QUEUED = "queued"          # accepted, waiting to be batched
+    SCHEDULED = "scheduled"    # handed to the batcher/policy
+    RUNNING = "running"        # training inside a fused array
+    COMPLETED = "completed"    # checkpoint exported, result available
+    FAILED = "failed"          # the array (or validation) raised
+
+    ALL = (QUEUED, SCHEDULED, RUNNING, COMPLETED, FAILED)
+
+
+#: ``build_model(num_models, generator)`` — returns an unfused model when
+#: ``num_models`` is ``None`` (deterministically initialized from
+#: ``generator``) and a fused array of ``num_models`` models otherwise
+#: (its weights are immediately overwritten by ``load_from_unfused``).
+ModelBuilder = Callable[[Optional[int], Optional[np.random.Generator]], Module]
+
+#: ``data(step)`` — the job's private data stream: a ``(inputs, targets)``
+#: numpy pair for training step ``step``.
+DataStream = Callable[[int], Tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass
+class TrainingJob:
+    """One submitted training job (the runtime's unit of work).
+
+    Parameters
+    ----------
+    name:
+        Scheduler-visible job name.  Repetitive jobs of one sweep are
+        expected to differ only in embedded values
+        (``train_lr0.01`` / ``train_lr0.003``) — the batcher pre-groups
+        jobs by :func:`repro.cluster.workload_signature` of this name.
+    build_model:
+        See :data:`ModelBuilder`.  The fused model it returns must expose
+        ``fuse_inputs`` (the :class:`repro.hfta.ops.factory.OpsLibrary`
+        models in :mod:`repro.models` all do).
+    config:
+        Hyper-parameters.  Fusible keys (``lr``, ``adam_beta1``, ...) may
+        differ between jobs of one array; infusible keys (``batch_size``,
+        ``optimizer``, anything declared infusible by ``space``) force
+        separate arrays.
+    data:
+        See :data:`DataStream`.  Jobs fused into one array are stepped in
+        lockstep, each on its own stream.
+    steps:
+        Training-step budget.  Arrays are gang-scheduled, so the batcher
+        only fuses jobs with equal budgets (unlike HFHT's epoch-budget
+        padding, the runtime returns every checkpoint bit-equivalent to its
+        serial counterpart).
+    seed:
+        Seed of the job's deterministic weight initialization.
+    loss:
+        Criterion key: ``cross_entropy``, ``nll`` or ``mse``.
+    space:
+        Optional :class:`repro.hfht.SearchSpace` declaring which config
+        keys are infusible; without it the batcher falls back to the
+        runtime's default infusible key set.
+    user:
+        Submitting user (accounting only; the runtime packs across users).
+    """
+
+    name: str
+    build_model: ModelBuilder
+    config: Dict[str, Value] = field(default_factory=dict)
+    data: Optional[DataStream] = None
+    steps: int = 8
+    seed: int = 0
+    loss: str = "cross_entropy"
+    space: Optional[SearchSpace] = None
+    user: str = "default"
+
+    def __post_init__(self):
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        if self.data is None:
+            raise ValueError(f"job '{self.name}' has no data stream")
+
+
+@dataclass
+class SubmittedJob:
+    """A job inside the queue: the job plus its runtime bookkeeping."""
+
+    job_id: int
+    job: TrainingJob
+    state: str = JobState.QUEUED
+    result: Optional[Any] = None   # JobResult once COMPLETED
+    error: Optional[str] = None    # message once FAILED
+    #: set by the engine when the job's fused array failed: the job is
+    #: retried alone (the batcher keeps solo jobs in singleton cohorts), so
+    #: one bad cohort-mate cannot take healthy jobs down with it
+    solo: bool = False
+
+
+class JobQueue:
+    """Thread-safe, non-blocking intake queue for training jobs."""
+
+    def __init__(self, max_pending: int = 0):
+        self._lock = threading.Lock()
+        self._ids = itertools.count()
+        self._jobs: "Dict[int, SubmittedJob]" = {}
+        self._pending: List[int] = []
+        self.max_pending = max_pending
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+    def submit(self, job: TrainingJob) -> int:
+        """Accept a job; returns its id.  Raises when the queue is full."""
+        with self._lock:
+            if self.max_pending and len(self._pending) >= self.max_pending:
+                raise RuntimeError(
+                    f"queue is full ({self.max_pending} pending jobs)")
+            job_id = next(self._ids)
+            self._jobs[job_id] = SubmittedJob(job_id=job_id, job=job)
+            self._pending.append(job_id)
+            return job_id
+
+    # ------------------------------------------------------------------ #
+    # engine side
+    # ------------------------------------------------------------------ #
+    def pop_pending(self, max_jobs: int = 0) -> List[SubmittedJob]:
+        """Dequeue up to ``max_jobs`` pending jobs (all when 0) as SCHEDULED."""
+        with self._lock:
+            count = len(self._pending) if max_jobs <= 0 else max_jobs
+            taken, self._pending = self._pending[:count], self._pending[count:]
+            batch = [self._jobs[i] for i in taken]
+            for sub in batch:
+                sub.state = JobState.SCHEDULED
+            return batch
+
+    def requeue(self, submitted: SubmittedJob) -> None:
+        """Put a scheduled-but-untrained job back at the front of the queue."""
+        with self._lock:
+            submitted.state = JobState.QUEUED
+            self._pending.insert(0, submitted.job_id)
+
+    def mark_running(self, submitted: SubmittedJob) -> None:
+        submitted.state = JobState.RUNNING
+
+    def mark_completed(self, submitted: SubmittedJob, result: Any) -> None:
+        submitted.state = JobState.COMPLETED
+        submitted.result = result
+
+    def mark_failed(self, submitted: SubmittedJob, error: str) -> None:
+        submitted.state = JobState.FAILED
+        submitted.error = error
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def state(self, job_id: int) -> str:
+        return self._jobs[job_id].state
+
+    def result(self, job_id: int) -> Any:
+        sub = self._jobs[job_id]
+        if sub.state == JobState.FAILED:
+            raise RuntimeError(f"job {job_id} ('{sub.job.name}') failed: "
+                               f"{sub.error}")
+        return sub.result
+
+    def jobs(self) -> List[SubmittedJob]:
+        with self._lock:
+            return list(self._jobs.values())

@@ -146,3 +146,18 @@ class TestUtilizationSampling:
         job = cluster.JobRecord(0, "u", "solo", 0.0, 1.0, 1, 1, False)
         labels = cluster.classify_jobs([job])
         assert cluster.sample_repetitive_utilization([job], labels) == []
+
+
+class TestWorkloadSignature:
+    def test_collapses_value_variations_of_one_sweep(self):
+        names = ["train_lr0.01_bs32", "train_lr0.003_bs64",
+                 "train_lr1e-4_bs128"]
+        assert len({cluster.workload_signature(n) for n in names}) == 1
+
+    def test_distinguishes_different_workloads(self):
+        assert cluster.workload_signature("train_resnet_lr0.01") != \
+            cluster.workload_signature("train_pointnet_lr0.01")
+
+    def test_user_scopes_the_key(self):
+        assert cluster.workload_signature("train_lr0.01", user="alice") != \
+            cluster.workload_signature("train_lr0.01", user="bob")

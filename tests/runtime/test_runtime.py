@@ -1,0 +1,374 @@
+"""Unit and integration tests for the dynamic training-array runtime."""
+
+import numpy as np
+import pytest
+
+from repro import nn, optim as serial_optim
+from repro.hfta.ops.factory import OpsLibrary
+from repro.hfht.space import HyperParameter, SearchSpace
+from repro.hwsim import V100, get_workload
+from repro.nn import functional as F
+from repro.runtime import (ArrayPolicy, Batcher, JobQueue, JobState,
+                           RuntimeMetrics, TrainingArrayEngine, TrainingJob)
+from repro.runtime.metrics import ArrayRecord
+
+STEPS = 4
+BATCH = 6
+CLASSES = 3
+FEATURES = 10
+
+
+class TinyMLP(nn.Module):
+    """Minimal OpsLibrary model used as the tests' job architecture."""
+
+    def __init__(self, hidden=8, num_models=None, generator=None):
+        super().__init__()
+        lib = self.lib = OpsLibrary(num_models)
+        self.fc1 = lib.Linear(FEATURES, hidden, generator=generator)
+        self.fc2 = lib.Linear(hidden, CLASSES, generator=generator)
+        self.relu = lib.ReLU()
+
+    def fuse_inputs(self, features):
+        return self.lib.fuse_dense_inputs(features)
+
+    def forward(self, x):
+        return self.fc2(self.relu(self.fc1(x)))
+
+
+def stream(seed, batch=BATCH):
+    rng = np.random.default_rng(seed)
+    batches = [(rng.standard_normal((batch, FEATURES)).astype(np.float32),
+                rng.integers(0, CLASSES, size=batch))
+               for _ in range(STEPS)]
+    return lambda step: batches[step]
+
+
+def make_job(index, lr=1e-3, hidden=8, steps=STEPS, **kwargs):
+    config = {"lr": lr, "optimizer": kwargs.pop("optimizer", "adam")}
+    config.update(kwargs.pop("config", {}))
+    return TrainingJob(
+        name=f"job{index}_lr{lr}", seed=index, steps=steps, config=config,
+        build_model=lambda B=None, g=None: TinyMLP(hidden, B, g),
+        data=stream(1000 + index), **kwargs)
+
+
+# --------------------------------------------------------------------- #
+class TestJobQueue:
+    def test_lifecycle(self):
+        queue = JobQueue()
+        job_id = queue.submit(make_job(0))
+        assert queue.state(job_id) == JobState.QUEUED
+        assert queue.pending_count == 1
+
+        (sub,) = queue.pop_pending()
+        assert sub.job_id == job_id
+        assert sub.state == JobState.SCHEDULED
+        assert queue.pending_count == 0
+
+        queue.mark_running(sub)
+        queue.mark_completed(sub, result="checkpoint")
+        assert queue.state(job_id) == JobState.COMPLETED
+        assert queue.result(job_id) == "checkpoint"
+
+    def test_pop_pending_respects_max_jobs_and_order(self):
+        queue = JobQueue()
+        ids = [queue.submit(make_job(i)) for i in range(5)]
+        first = queue.pop_pending(max_jobs=2)
+        assert [s.job_id for s in first] == ids[:2]
+        rest = queue.pop_pending()
+        assert [s.job_id for s in rest] == ids[2:]
+
+    def test_requeue_puts_job_back_at_front(self):
+        queue = JobQueue()
+        ids = [queue.submit(make_job(i)) for i in range(2)]
+        (sub,) = queue.pop_pending(max_jobs=1)
+        queue.requeue(sub)
+        assert [s.job_id for s in queue.pop_pending()] == ids
+
+    def test_full_queue_rejects_submissions(self):
+        queue = JobQueue(max_pending=1)
+        queue.submit(make_job(0))
+        with pytest.raises(RuntimeError, match="full"):
+            queue.submit(make_job(1))
+
+    def test_result_of_failed_job_raises(self):
+        queue = JobQueue()
+        job_id = queue.submit(make_job(0))
+        (sub,) = queue.pop_pending()
+        queue.mark_failed(sub, "boom")
+        with pytest.raises(RuntimeError, match="boom"):
+            queue.result(job_id)
+
+    def test_job_without_data_is_rejected(self):
+        with pytest.raises(ValueError, match="data stream"):
+            TrainingJob(name="nodata", build_model=lambda B, g: TinyMLP(8),
+                        data=None)
+
+
+# --------------------------------------------------------------------- #
+class TestBatcher:
+    def _schedule(self, jobs):
+        queue = JobQueue()
+        for job in jobs:
+            queue.submit(job)
+        return queue.pop_pending()
+
+    def test_same_architecture_same_config_fuse(self):
+        batch = self._schedule([make_job(i, lr=1e-3 * (i + 1))
+                                for i in range(4)])
+        cohorts, failures = Batcher().form_cohorts(batch)
+        assert not failures
+        assert len(cohorts) == 1
+        assert cohorts[0].num_models == 4
+        assert len(cohorts[0].templates) == 4
+
+    def test_different_architectures_split(self):
+        batch = self._schedule([make_job(0, hidden=8), make_job(1, hidden=8),
+                                make_job(2, hidden=16)])
+        cohorts, _ = Batcher().form_cohorts(batch)
+        assert sorted(c.num_models for c in cohorts) == [1, 2]
+
+    def test_infusible_config_keys_split(self):
+        batch = self._schedule([make_job(0), make_job(1, optimizer="sgd")])
+        cohorts, _ = Batcher().form_cohorts(batch)
+        assert len(cohorts) == 2
+
+    def test_step_budgets_split(self):
+        batch = self._schedule([make_job(0, steps=2), make_job(1, steps=3)])
+        cohorts, _ = Batcher().form_cohorts(batch)
+        assert len(cohorts) == 2
+
+    def test_search_space_declares_infusible_keys(self):
+        space = SearchSpace([
+            HyperParameter("lr", True, 1e-4, 1e-2),
+            HyperParameter("width_mult", False, choices=(1, 2)),
+        ])
+        jobs = [make_job(0, config={"width_mult": 1}, space=space),
+                make_job(1, config={"width_mult": 2}, space=space),
+                make_job(2, config={"width_mult": 1}, space=space)]
+        cohorts, _ = Batcher().form_cohorts(self._schedule(jobs))
+        assert sorted(c.num_models for c in cohorts) == [1, 2]
+
+    def test_broken_builder_reported_not_raised(self):
+        def broken(B=None, g=None):
+            raise RuntimeError("bad model")
+
+        bad = TrainingJob(name="bad", build_model=broken, data=stream(0))
+        batch = self._schedule([make_job(0), bad, make_job(1)])
+        cohorts, failures = Batcher().form_cohorts(batch)
+        assert len(failures) == 1
+        assert "bad model" in failures[0][1]
+        assert sum(c.num_models for c in cohorts) == 2
+
+
+# --------------------------------------------------------------------- #
+class TestArrayPolicy:
+    def _cohort(self, num_jobs):
+        batch = []
+        queue = JobQueue()
+        for i in range(num_jobs):
+            queue.submit(make_job(i))
+        (cohort,), _ = Batcher().form_cohorts(queue.pop_pending())
+        return cohort
+
+    def test_width_cap_splits_oversized_cohorts(self):
+        plans = ArrayPolicy(max_width=3).plan([self._cohort(7)])
+        assert [p.num_models for p in plans] == [3, 3, 1]
+        assert all(p.width_cap == 3 for p in plans)
+        assert plans[0].occupancy == 1.0
+        assert plans[-1].occupancy == pytest.approx(1 / 3)
+
+    def test_memory_bound_cap_uses_hwsim(self):
+        workload = get_workload("pointnet_cls")
+        policy = ArrayPolicy(max_width=1000, workload=workload, device=V100)
+        from repro.hwsim import max_models
+        assert policy.width_cap() == max_models(workload, V100, "hfta", "amp")
+
+    def test_explicit_cap_wins_when_smaller(self):
+        policy = ArrayPolicy(max_width=2,
+                             workload=get_workload("pointnet_cls"),
+                             device=V100)
+        assert policy.width_cap() == 2
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError, match="max_width"):
+            ArrayPolicy(max_width=0)
+        with pytest.raises(ValueError, match="together"):
+            ArrayPolicy(workload=get_workload("pointnet_cls"))
+
+
+# --------------------------------------------------------------------- #
+class TestEngine:
+    def test_serves_jobs_equivalently_to_serial_training(self):
+        jobs = [make_job(i, lr=1e-3 * (i + 1)) for i in range(5)]
+        engine = TrainingArrayEngine(policy=ArrayPolicy(max_width=2))
+        job_ids = engine.submit_all(jobs)
+        results = engine.run_until_idle()
+
+        assert len(results) == 5
+        assert engine.metrics.arrays_launched == 3  # 2 + 2 + 1 under cap 2
+        assert engine.metrics.jobs_completed == 5
+
+        for job, job_id in zip(jobs, job_ids):
+            result = results[job_id]
+            assert len(result.loss_curve) == STEPS
+            reference = job.build_model(None, np.random.default_rng(job.seed))
+            opt = serial_optim.Adam(reference.parameters(),
+                                    lr=job.config["lr"])
+            for step in range(STEPS):
+                x, y = job.data(step)
+                opt.zero_grad()
+                loss = F.cross_entropy(reference(nn.tensor(x)), y)
+                loss.backward()
+                opt.step()
+            for (name, p_ref), (_, p_out) in zip(
+                    reference.named_parameters(),
+                    result.checkpoint.named_parameters()):
+                np.testing.assert_allclose(p_out.data, p_ref.data,
+                                           rtol=1e-4, atol=1e-6,
+                                           err_msg=f"{result.name} {name}")
+
+    def test_heterogeneous_jobs_form_separate_arrays(self):
+        engine = TrainingArrayEngine(policy=ArrayPolicy(max_width=4))
+        engine.submit_all([make_job(0), make_job(1),
+                           make_job(2, hidden=16), make_job(3, hidden=16)])
+        engine.run_until_idle()
+        assert engine.metrics.arrays_launched == 2
+        assert engine.metrics.models_per_array == 2.0
+
+    def test_cohort_mate_omitting_a_fusible_key_gets_the_default(self):
+        """Fusible keys are not part of the cohort key, so a job that omits
+        'lr' may fuse with one that sets it; the omitting job must train
+        with the optimizer's own default, not fail the array."""
+        explicit = make_job(0, lr=5e-3)
+        implicit = TrainingJob(
+            name="job1_lr0", seed=1, steps=STEPS,  # same name signature
+            config={"optimizer": "adam"},
+            build_model=lambda B=None, g=None: TinyMLP(8, B, g),
+            data=stream(1001))
+        engine = TrainingArrayEngine(policy=ArrayPolicy(max_width=4))
+        ids = engine.submit_all([explicit, implicit])
+        results = engine.run_until_idle()
+        assert set(results) == set(ids)
+        assert engine.metrics.arrays_launched == 1   # they fused
+        assert engine.metrics.arrays_failed == 0
+
+        reference = implicit.build_model(None,
+                                         np.random.default_rng(implicit.seed))
+        opt = serial_optim.Adam(reference.parameters())  # default lr
+        for step in range(STEPS):
+            x, y = implicit.data(step)
+            opt.zero_grad()
+            loss = F.cross_entropy(reference(nn.tensor(x)), y)
+            loss.backward()
+            opt.step()
+        for (name, p_ref), (_, p_out) in zip(
+                reference.named_parameters(),
+                results[ids[1]].checkpoint.named_parameters()):
+            np.testing.assert_allclose(p_out.data, p_ref.data,
+                                       rtol=1e-4, atol=1e-6, err_msg=name)
+
+    def test_sgd_and_adadelta_jobs_train(self):
+        engine = TrainingArrayEngine(policy=ArrayPolicy(max_width=4))
+        ids = engine.submit_all([
+            make_job(0, optimizer="sgd", lr=0.05),
+            make_job(1, optimizer="adadelta", lr=0.5),
+        ])
+        results = engine.run_until_idle()
+        assert set(results) == set(ids)
+        assert engine.metrics.arrays_launched == 2  # infusible optimizers
+
+    def test_unknown_optimizer_fails_only_its_array(self):
+        engine = TrainingArrayEngine(policy=ArrayPolicy(max_width=4))
+        good = engine.submit(make_job(0))
+        bad = engine.submit(make_job(1, optimizer="lion"))
+        results = engine.run_until_idle()
+        assert good in results and bad not in results
+        assert engine.queue.state(bad) == JobState.FAILED
+        assert engine.metrics.jobs_failed == 1
+        with pytest.raises(RuntimeError, match="lion"):
+            engine.queue.result(bad)
+
+    def test_broken_data_stream_fails_only_its_array(self):
+        def bad_stream(step):
+            raise IOError("dataset offline")
+
+        engine = TrainingArrayEngine(policy=ArrayPolicy(max_width=4))
+        good = engine.submit(make_job(0))
+        bad = engine.submit(TrainingJob(
+            name="baddata", seed=9,
+            config={"lr": 1e-3, "optimizer": "sgd"},  # infusible: own array
+            build_model=lambda B=None, g=None: TinyMLP(8, B, g),
+            data=bad_stream, steps=STEPS))
+        results = engine.run_until_idle()
+        assert good in results
+        assert engine.queue.state(bad) == JobState.FAILED
+
+    def test_bad_cohort_mate_quarantined_not_fatal_to_others(self):
+        """A job whose data stream mismatches its cohort (same config, so
+        the batcher fuses them) fails the shared array; the engine must
+        retry the jobs solo so the healthy one still completes."""
+        engine = TrainingArrayEngine(policy=ArrayPolicy(max_width=4))
+        good = engine.submit(make_job(0))
+        bad = engine.submit(TrainingJob(
+            name="job1_lr0.001", seed=1, steps=STEPS,
+            config={"lr": 1e-3, "optimizer": "adam"},
+            build_model=lambda B=None, g=None: TinyMLP(8, B, g),
+            data=stream(1001, batch=BATCH + 3)))  # mismatched batch size
+        results = engine.run_until_idle()
+        assert good in results
+        assert bad in results  # trains fine alone
+        assert engine.queue.state(good) == JobState.COMPLETED
+        assert engine.queue.state(bad) == JobState.COMPLETED
+        assert engine.metrics.arrays_failed == 1
+        # the retry trained each job in its own width-1 array
+        assert [r.num_models for r in engine.metrics.records] == [1, 1]
+
+    def test_incremental_cycles_serve_a_live_stream(self):
+        engine = TrainingArrayEngine(policy=ArrayPolicy(max_width=4))
+        first = engine.submit(make_job(0))
+        engine.run_cycle()
+        assert engine.queue.state(first) == JobState.COMPLETED
+        second = engine.submit(make_job(1))
+        third = engine.submit(make_job(2))
+        engine.run_cycle()
+        assert engine.queue.state(second) == JobState.COMPLETED
+        assert engine.queue.state(third) == JobState.COMPLETED
+        assert engine.metrics.arrays_launched == 2
+        assert engine.metrics.records[1].num_models == 2
+
+
+# --------------------------------------------------------------------- #
+class TestRuntimeMetrics:
+    def test_aggregates(self):
+        metrics = RuntimeMetrics()
+        metrics.record_submit(5)
+        metrics.record_array(ArrayRecord(
+            array_id=0, signature="a", num_models=4, width_cap=4,
+            steps=10, samples=400, seconds=2.0))
+        metrics.record_array(ArrayRecord(
+            array_id=1, signature="a", num_models=1, width_cap=4,
+            steps=10, samples=100, seconds=1.0))
+        metrics.record_failure()
+
+        assert metrics.jobs_submitted == 5
+        assert metrics.jobs_completed == 5
+        assert metrics.jobs_failed == 1
+        assert metrics.arrays_launched == 2
+        assert metrics.models_per_array == 2.5
+        assert metrics.occupancy == pytest.approx((1.0 + 0.25) / 2)
+        assert metrics.serial_steps_saved == 30
+        assert metrics.throughput == pytest.approx(500 / 3.0)
+
+        rows, header = metrics.report()
+        assert len(rows) == 2
+        assert len(rows[0]) == len(header)
+        as_dict = metrics.as_dict()
+        assert as_dict["arrays_launched"] == 2
+        assert as_dict["throughput_samples_per_s"] == metrics.throughput
+
+    def test_empty_metrics_are_well_defined(self):
+        metrics = RuntimeMetrics()
+        assert metrics.throughput == 0.0
+        assert metrics.occupancy == 0.0
+        assert metrics.models_per_array == 0.0
