@@ -3,8 +3,11 @@
 
 PY ?= python
 PYTEST = PYTHONPATH=src $(PY) -m pytest
+# extra pytest flags for `make bench`, e.g.
+#   make bench BENCH_FLAGS="--benchmark-json=BENCH_runtime.json"
+BENCH_FLAGS ?=
 
-.PHONY: test bench docs-check examples
+.PHONY: test bench docs-check examples lint
 
 # tier-1 verify: the whole suite, fail fast
 test:
@@ -12,7 +15,18 @@ test:
 
 # benchmark harness only, verbose so the reproduced tables/figures print
 bench:
-	$(PYTEST) benchmarks/ -q -s
+	$(PYTEST) benchmarks/ -q -s $(BENCH_FLAGS)
+
+# style/correctness lint: ruff when installed (CI), else the stdlib
+# fallback that enforces the core of the same rule families (this repo's
+# build container cannot pip-install)
+lint:
+	@if $(PY) -m ruff --version >/dev/null 2>&1; then \
+		$(PY) -m ruff check . ; \
+	else \
+		echo "ruff not installed; running tools/lint_fallback.py" ; \
+		$(PY) tools/lint_fallback.py ; \
+	fi
 
 # docs sanity: the architecture walkthrough and README exist, and every
 # module they promise is importable
@@ -23,8 +37,13 @@ docs-check:
 	repro.hwsim, repro.cluster, repro.runtime, repro.models, repro.data; \
 	print('docs-check: all documented packages import cleanly')"
 
-# run every example end-to-end (runtime_serving asserts serial equivalence)
+# run every example end-to-end (runtime_serving and fleet_serving assert
+# serial equivalence of every exported checkpoint)
 examples:
 	PYTHONPATH=src $(PY) examples/quickstart.py
 	PYTHONPATH=src $(PY) examples/runtime_serving.py
+	PYTHONPATH=src $(PY) examples/fleet_serving.py
 	PYTHONPATH=src $(PY) examples/partial_fusion.py
+	PYTHONPATH=src $(PY) examples/hfht_tuning.py
+	PYTHONPATH=src $(PY) examples/dcgan_array.py
+	PYTHONPATH=src $(PY) examples/pointnet_hp_sweep.py

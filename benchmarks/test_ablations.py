@@ -10,7 +10,6 @@
 import dataclasses
 
 import numpy as np
-import pytest
 
 from repro import nn, hwsim
 from repro.hfta import ops as hops, optim as fused_optim

@@ -4,7 +4,6 @@ Paper: across 13 sampled jobs the maximum ``sm_active`` is 24% and the
 maximum ``sm_occupancy`` is 14%.
 """
 
-import pytest
 
 from repro import cluster
 from .conftest import print_table

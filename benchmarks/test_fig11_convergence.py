@@ -7,7 +7,6 @@ CIFAR-10, a narrow ResNet-18) and the curves are compared numerically.
 """
 
 import numpy as np
-import pytest
 
 from repro import nn, optim as serial_optim, hfta
 from repro.data import DataLoader, SyntheticCIFAR10

@@ -4,8 +4,6 @@ Paper: the nvidia-smi metric is noisy, stays high for every scheme, and does
 not follow the throughput or DCGM-counter trends — unlike ``sm_active``.
 """
 
-import numpy as np
-import pytest
 
 from repro import hwsim
 from .conftest import print_table

@@ -5,7 +5,6 @@ Paper: on V100 HFTA reaches 2.42x-3.94x the serial throughput (1.25x-2.24x
 over MPS); on TPU v3 it reaches 2.98x-6.43x over serial.
 """
 
-import pytest
 
 from repro import hwsim
 from .conftest import print_table

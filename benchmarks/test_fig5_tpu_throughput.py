@@ -5,7 +5,6 @@ super-linear because XLA padding weakens the serial baseline) higher
 throughput per TPU core; the segmentation variant only reaches 1.20x.
 """
 
-import pytest
 
 from repro import hwsim
 from .conftest import print_table

@@ -3,7 +3,6 @@
 RTX6000 and A100.
 """
 
-import pytest
 
 from repro import hwsim
 from .conftest import print_table

@@ -7,7 +7,6 @@
   extracts substantial value from tensor cores.
 """
 
-import pytest
 
 from repro import hwsim
 from .conftest import print_table

@@ -10,7 +10,7 @@ Run:  python examples/dcgan_array.py
 
 import numpy as np
 
-from repro import nn, hfta
+from repro import nn
 from repro.data import DataLoader, SyntheticLSUN
 from repro.hfta import optim as fused_optim
 from repro.hfta.ops.utils import fuse_channel

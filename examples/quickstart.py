@@ -12,7 +12,6 @@ import numpy as np
 
 from repro import nn, hfta, hwsim
 from repro.hfta import ops as hops, optim as fused_optim
-from repro.nn import functional as F
 
 
 def build_serial_model(seed):

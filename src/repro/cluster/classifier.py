@@ -20,9 +20,8 @@ from __future__ import annotations
 import re
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
 
-import numpy as np
 
 from .jobs import JOB_CATEGORIES, JobRecord
 from .levenshtein import normalized_similarity

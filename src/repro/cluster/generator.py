@@ -21,7 +21,7 @@ rules) recovers that breakdown from the raw log alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

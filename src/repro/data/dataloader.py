@@ -7,7 +7,7 @@ automatic collation of tuple-structured samples into stacked numpy arrays.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, Sequence, Tuple
 
 import numpy as np
 

@@ -17,10 +17,9 @@ reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
-import numpy as np
 
 from ..hwsim import DeviceSpec, WorkloadSpec, max_models, simulate
 from .algorithms import Trial

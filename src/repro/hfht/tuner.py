@@ -7,7 +7,7 @@ the ``serial`` / ``concurrent`` / ``mps`` / ``hfta`` schedulers and comparing
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .algorithms import Trial, TuningAlgorithm

@@ -19,7 +19,7 @@ This module provides the glue between *unfused* models (one
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 

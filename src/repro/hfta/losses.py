@@ -17,7 +17,6 @@ applies to any criterion, including ones with regularization terms.
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 import numpy as np
 

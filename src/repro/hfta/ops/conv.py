@@ -23,11 +23,10 @@ vectors; the forward pass reshapes them into the grouped-convolution layout.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ... import nn
 from ...nn import functional as F
 from ...nn import init
 from ...nn.modules.module import Module, Parameter

@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ... import nn
-from ...nn.tensor import Tensor, cat, stack
+from ...nn.tensor import Tensor
 from . import (activation, attention, conv, dropout, embedding, linear, norm,
                pooling)
 from .utils import batch_to_channel, channel_to_batch, fuse_batch, fuse_channel

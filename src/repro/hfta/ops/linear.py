@@ -11,7 +11,7 @@ more efficiently than ``B`` small GEMMs.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Union
+from typing import Optional
 
 import numpy as np
 

@@ -19,9 +19,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-import numpy as np
 
-from ...nn import functional as F  # noqa: F401  (re-exported for fused ops)
 from ...nn.tensor import Tensor, cat, stack
 
 __all__ = [

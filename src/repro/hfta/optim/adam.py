@@ -14,7 +14,6 @@ import numpy as np
 
 from ...nn.tensor import Tensor
 from .optimizer import FusedOptimizer
-from .utils import coerce_hyperparam
 
 __all__ = ["Adam", "AdamW"]
 

@@ -27,7 +27,8 @@ from .workloads import (WorkloadSpec, get_workload, WORKLOADS,
                         pointnet_seg, dcgan, resnet18, mobilenet_v3_large,
                         transformer_lm, bert_medium)
 from .sharing import (SharingResult, SHARING_MODES, simulate, max_models,
-                      throughput_sweep, memory_footprint_gb)
+                      throughput_sweep, memory_footprint_gb,
+                      ArrayCostEstimate, estimate_array_cost)
 from .analysis import (normalized_curve, serial_reference, peak_throughput,
                        peak_speedups, equal_models_speedups,
                        amp_over_fp32_speedups, baseline_modes,
@@ -45,6 +46,7 @@ __all__ = [
     "resnet18", "mobilenet_v3_large", "transformer_lm", "bert_medium",
     "SharingResult", "SHARING_MODES", "simulate", "max_models",
     "throughput_sweep", "memory_footprint_gb",
+    "ArrayCostEstimate", "estimate_array_cost",
     "normalized_curve", "serial_reference", "peak_throughput",
     "peak_speedups", "equal_models_speedups", "amp_over_fp32_speedups",
     "baseline_modes", "partial_fusion_iteration_time",

@@ -9,13 +9,11 @@ curves behind Figures 4, 5, 15 and 16.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from .devices import DeviceSpec
-from .sharing import SharingResult, max_models, simulate, throughput_sweep
+from .sharing import simulate, throughput_sweep
 from .workloads import WorkloadSpec
 
 __all__ = ["normalized_curve", "peak_throughput", "peak_speedups",

@@ -23,8 +23,8 @@ constants (saturation work sizes, sharing caps, launch overheads) that encode
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Dict
 
 __all__ = ["DeviceSpec", "GPU_SPECS", "TPU_SPECS", "get_device",
            "V100", "RTX6000", "A100", "P100", "T4", "TPU_V3"]

@@ -24,7 +24,7 @@ throughput) is much higher, while its launch overhead is paid only once.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterable, List, Sequence
+from typing import List
 
 from .devices import DeviceSpec
 

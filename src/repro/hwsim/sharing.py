@@ -37,17 +37,18 @@ paper describe:
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from .devices import DeviceSpec
 from .kernels import KernelCost, KernelSpec, kernel_cost
-from .workloads import WorkloadSpec
+from .workloads import WorkloadSpec, get_workload
 
 __all__ = ["SharingMode", "SharingResult", "simulate", "max_models",
-           "throughput_sweep", "memory_footprint_gb", "SHARING_MODES"]
+           "throughput_sweep", "memory_footprint_gb", "SHARING_MODES",
+           "ArrayCostEstimate", "estimate_array_cost"]
 
 SHARING_MODES = ("serial", "concurrent", "mps", "mig", "hfta")
 
@@ -294,6 +295,57 @@ def simulate(workload: WorkloadSpec, device: DeviceSpec, mode: SharingMode,
         throughput=throughput, memory_gb=memory,
         sm_active=float(sm_active), sm_occupancy=float(sm_occupancy),
         tensor_active=float(tensor_active), gpu_util_nvidia_smi=gpu_util)
+
+
+@dataclass(frozen=True)
+class ArrayCostEstimate:
+    """Projected cost of training one fused-array plan on one device."""
+
+    workload: str
+    device: str
+    precision: str
+    num_models: int
+    steps: int
+    fits: bool
+    iteration_time_s: float
+    throughput: float                # samples/s, whole array
+    memory_gb: float
+    train_seconds: float             # steps * iteration_time_s
+
+
+def estimate_array_cost(plan, device: DeviceSpec, precision: str = "amp",
+                        workload: Optional[WorkloadSpec] = None
+                        ) -> ArrayCostEstimate:
+    """Cost-model projection for placing a fused-array plan on ``device``.
+
+    ``plan`` is duck-typed so this layer stays below the runtime: it needs
+    ``num_models`` and optionally ``steps`` (defaults to 1) and ``workload``
+    (an hwsim workload name, resolved via :func:`get_workload`).  An explicit
+    ``workload`` argument overrides the plan's hint.  The projection is the
+    HFTA sharing model (:func:`simulate`): the array runs as one process
+    whose kernels are ``num_models`` times larger.
+
+    The fleet placer (:mod:`repro.runtime.placement`) ranks devices by the
+    returned ``train_seconds`` / ``throughput``; ``fits`` is ``False`` when
+    the array's memory footprint exceeds the device.
+    """
+    if workload is None:
+        hint = getattr(plan, "workload", None)
+        if hint is None:
+            raise ValueError(
+                "plan carries no workload hint; pass workload= explicitly "
+                "or set TrainingJob.workload to an hwsim workload name")
+        workload = hint if isinstance(hint, WorkloadSpec) else \
+            get_workload(str(hint))
+    num_models = int(plan.num_models)
+    steps = int(getattr(plan, "steps", 1))
+    result = simulate(workload, device, "hfta", num_models, precision)
+    return ArrayCostEstimate(
+        workload=workload.name, device=device.name, precision=result.precision,
+        num_models=num_models, steps=steps, fits=result.fits,
+        iteration_time_s=result.iteration_time_s,
+        throughput=result.throughput, memory_gb=result.memory_gb,
+        train_seconds=steps * result.iteration_time_s)
 
 
 def throughput_sweep(workload: WorkloadSpec, device: DeviceSpec,

@@ -17,8 +17,8 @@ number of co-resident models per GPU matches the paper's reported counts
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from .kernels import (KernelSpec, conv1d_kernels, conv2d_kernels,
                       elementwise_kernel, linear_kernels, norm_kernels,

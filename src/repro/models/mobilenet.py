@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import List, NamedTuple, Optional, Sequence
 
-import numpy as np
 
 from .. import nn
 from ..hfta.ops.factory import OpsLibrary

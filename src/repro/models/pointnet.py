@@ -20,13 +20,12 @@ Input layouts
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 
 from .. import nn
 from ..hfta.ops.factory import OpsLibrary
-from ..hfta.ops.utils import fuse_channel
 from ..nn.tensor import Tensor
 
 __all__ = ["TNet", "PointNetFeatures", "PointNetCls", "PointNetSeg"]

@@ -25,7 +25,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from .tensor import Tensor, _accumulate, _make_out, is_grad_enabled
+from .tensor import Tensor, _accumulate, _make_out
 
 __all__ = [
     "conv2d", "conv1d", "conv_transpose2d", "linear", "baddbmm", "bmm",

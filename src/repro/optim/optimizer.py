@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable
 
-import numpy as np
 
 from ..nn.tensor import Tensor
 

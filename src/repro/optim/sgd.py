@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Iterable
 
-import numpy as np
 
 from ..nn.tensor import Tensor
 from .optimizer import Optimizer

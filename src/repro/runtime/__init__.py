@@ -17,11 +17,19 @@ of a shared accelerator:
   HFHT's partial-fusion logic (:func:`repro.hfht.split_oversized`);
 * :mod:`repro.runtime.engine`  — trains each array (``load_from_unfused``
   -> fused steps -> ``export_to_unfused``) and hands every job its
-  serial-equivalent checkpoint;
+  serial-equivalent checkpoint; doubles as the fleet's per-device worker;
+* :mod:`repro.runtime.placement` — hardware-aware placement: ranks the
+  fleet's devices per array with the :mod:`repro.hwsim` cost model
+  (:func:`repro.hwsim.estimate_array_cost`), partial-fusion fallback when
+  a cohort exceeds the chosen device's memory cap;
+* :mod:`repro.runtime.fleet`   — the multi-device scheduler: per-device
+  worker threads over a shared queue, work stealing for idle devices,
+  quarantine-and-retry failure isolation;
 * :mod:`repro.runtime.metrics` — throughput/occupancy counters in the
-  conventions of ``benchmarks/test_fig*_counters.py``.
+  conventions of ``benchmarks/test_fig*_counters.py``, plus per-device
+  utilization and the fleet-level aggregate-throughput report.
 
-Quickstart::
+Quickstart (single device)::
 
     from repro.runtime import TrainingArrayEngine, TrainingJob, ArrayPolicy
 
@@ -30,9 +38,21 @@ Quickstart::
         engine.submit(job)
     results = engine.run_until_idle()     # {job_id: JobResult}
 
-See ``docs/architecture.md`` (section "The runtime layer") for the full
-data-flow diagram and design rationale, and ``examples/runtime_serving.py``
-for an end-to-end serving session.
+Fleet scale::
+
+    from repro.hwsim import V100, RTX6000, A100, TPU_V3
+    from repro.runtime import FleetScheduler
+
+    fleet = FleetScheduler(devices=(V100, RTX6000, A100, TPU_V3),
+                           max_width=4)
+    fleet.submit_all(my_jobs)             # jobs may hint .workload
+    results = fleet.run_until_idle()      # same JobResult contract
+    rows, header = fleet.metrics.fleet_report()   # per-device counters
+
+See ``docs/architecture.md`` (sections "The runtime layer" and "The fleet
+layer") for the full data-flow diagram and design rationale, and
+``examples/runtime_serving.py`` / ``examples/fleet_serving.py`` for
+end-to-end serving sessions.
 """
 
 from .queue import JobState, TrainingJob, SubmittedJob, JobQueue
@@ -40,6 +60,8 @@ from .batcher import Batcher, Cohort, DEFAULT_INFUSIBLE_KEYS
 from .policy import ArrayPlan, ArrayPolicy
 from .engine import JobResult, TrainingArrayEngine
 from .metrics import ArrayRecord, RuntimeMetrics
+from .placement import DEFAULT_FLEET, FleetPlacer, PlacementDecision
+from .fleet import DeviceWorker, FleetScheduler
 
 __all__ = [
     "JobState", "TrainingJob", "SubmittedJob", "JobQueue",
@@ -47,4 +69,6 @@ __all__ = [
     "ArrayPlan", "ArrayPolicy",
     "JobResult", "TrainingArrayEngine",
     "ArrayRecord", "RuntimeMetrics",
+    "DEFAULT_FLEET", "FleetPlacer", "PlacementDecision",
+    "DeviceWorker", "FleetScheduler",
 ]

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -59,6 +59,9 @@ class Cohort:
     steps: int
     jobs: List[SubmittedJob] = field(default_factory=list)
     templates: List[Module] = field(default_factory=list)
+    #: hwsim workload hint shared by every job of the cohort (placement
+    #: cost model input; see TrainingJob.workload)
+    workload: "str | None" = None
 
     @property
     def num_models(self) -> int:
@@ -74,12 +77,20 @@ class Batcher:
     # ------------------------------------------------------------------ #
     def infusible_values(self, sub: SubmittedJob
                          ) -> Tuple[Tuple[str, object], ...]:
-        """The job's infusible hyper-parameter values, as a hashable key."""
+        """The job's infusible hyper-parameter values, as a hashable key.
+
+        A search space *adds* declared infusible names to the runtime's
+        default key set — it cannot make a default key fusible.  The
+        defaults (``batch_size``, ``optimizer``, ...) change tensor shapes
+        or the update rule itself, so fusing across them would silently
+        train a job with a cohort-mate's optimizer and break the
+        serial-equivalence guarantee.
+        """
         job = sub.job
+        names = [k for k in self.infusible_keys if k in job.config]
         if job.space is not None:
-            names = job.space.infusible_names()
-        else:
-            names = [k for k in self.infusible_keys if k in job.config]
+            names.extend(n for n in job.space.infusible_names()
+                         if n not in names)
         return tuple((name, job.config.get(name)) for name in names)
 
     @staticmethod
@@ -112,6 +123,7 @@ class Batcher:
                 infusible,                        # shared infusible values
                 job.steps,                        # gang-scheduled budget
                 job.loss,
+                job.workload,                     # one cost model per array
                 structural_signature(template),   # level 2: exact structure
                 # quarantined retries train alone (see SubmittedJob.solo)
                 sub.job_id if sub.solo else None,
@@ -119,7 +131,8 @@ class Batcher:
             if key not in groups:
                 groups[key] = Cohort(signature=workload_signature(job.name),
                                      infusible_values=infusible,
-                                     steps=job.steps)
+                                     steps=job.steps,
+                                     workload=job.workload)
             groups[key].jobs.append(sub)
             groups[key].templates.append(template)
 

@@ -6,11 +6,17 @@ data path::
     queue.pop_pending()                      (queue.py)
       -> batcher.form_cohorts()              (batcher.py)   which jobs fuse?
       -> policy.plan()                       (policy.py)    how wide?
-      -> _train_array() per plan             (this module)
+      -> train_plan() per plan               (this module)
            load_from_unfused(templates)      (hfta.fusion)
            fused forward/backward/step  x steps
            export_to_unfused -> JobResult    (hfta.fusion)
       -> metrics.record_array()              (metrics.py)
+
+The engine also serves as the *per-device worker* of the multi-device fleet
+(:mod:`repro.runtime.fleet`): the fleet scheduler replaces the
+batcher/policy stages with cost-model placement (:mod:`repro.runtime.
+placement`) and calls :meth:`TrainingArrayEngine.train_plan` directly, one
+engine per simulated device, all sharing one queue and one metrics object.
 
 Because every HFTA transformation is mathematically equivalent and arrays
 are gang-scheduled (equal step budgets, each job on its own data stream),
@@ -21,9 +27,10 @@ produced — the runtime changes *when and with whom* a job trains, never
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -36,7 +43,7 @@ from ..nn.modules.module import Module
 from .batcher import Batcher
 from .metrics import ArrayRecord, RuntimeMetrics
 from .policy import ArrayPlan, ArrayPolicy
-from .queue import JobQueue, SubmittedJob, TrainingJob
+from .queue import JobQueue, TrainingJob
 
 __all__ = ["JobResult", "TrainingArrayEngine"]
 
@@ -81,17 +88,39 @@ class JobResult:
 
 
 class TrainingArrayEngine:
-    """Serves a stream of training jobs by horizontally fusing them."""
+    """Serves a stream of training jobs by horizontally fusing them.
+
+    Standalone, the engine is the whole runtime: submit jobs, call
+    :meth:`run_until_idle`.  Inside a fleet it is one device's worker:
+    ``device`` names the simulated accelerator it represents (stamped on
+    every :class:`~repro.runtime.metrics.ArrayRecord` it produces) and
+    ``array_ids`` is the fleet's shared id allocator, so array ids stay
+    unique across concurrently training devices.
+    """
 
     def __init__(self, policy: Optional[ArrayPolicy] = None,
                  batcher: Optional[Batcher] = None,
                  metrics: Optional[RuntimeMetrics] = None,
-                 queue: Optional[JobQueue] = None):
-        self.queue = queue or JobQueue()
-        self.batcher = batcher or Batcher()
-        self.policy = policy or ArrayPolicy()
-        self.metrics = metrics or RuntimeMetrics()
+                 queue: Optional[JobQueue] = None,
+                 device=None,
+                 array_ids: Optional[Callable[[], int]] = None):
+        # `is not None`, not `or`: an empty JobQueue is falsy (__len__ == 0),
+        # and a fleet passes its shared-but-empty queue at construction time
+        self.queue = queue if queue is not None else JobQueue()
+        self.batcher = batcher if batcher is not None else Batcher()
+        self.policy = policy if policy is not None else ArrayPolicy()
+        self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        self.device = device
+        self.device_name = getattr(device, "name", "") if device else ""
+        self._array_ids = array_ids or self._private_array_ids
         self._next_array_id = 0
+        self._id_lock = threading.Lock()
+
+    def _private_array_ids(self) -> int:
+        with self._id_lock:
+            array_id = self._next_array_id
+            self._next_array_id += 1
+            return array_id
 
     # ------------------------------------------------------------------ #
     # submission
@@ -120,7 +149,7 @@ class TrainingArrayEngine:
 
         results: List[JobResult] = []
         for plan in self.policy.plan(cohorts):
-            results.extend(self._train_array(plan))
+            results.extend(self.train_plan(plan))
         return results
 
     def run_until_idle(self) -> Dict[int, JobResult]:
@@ -152,8 +181,12 @@ class TrainingArrayEngine:
                                [c.get("adam_beta2", 0.999) for c in configs])
         return cls(fused.parameters(), num_models=plan.num_models, **kwargs)
 
-    def _train_array(self, plan: ArrayPlan) -> List[JobResult]:
+    def train_plan(self, plan: ArrayPlan) -> List[JobResult]:
         """Train one fused array and hand every job its checkpoint.
+
+        This is the fleet's per-device entry point (a worker thread calls it
+        for every plan placed on — or stolen by — its device), and the last
+        stage of the standalone :meth:`run_cycle`.
 
         A failing multi-job array does not fail its jobs outright: they are
         requeued in quarantine (``solo``) and retried as width-1 arrays on
@@ -179,8 +212,7 @@ class TrainingArrayEngine:
     def _train_array_inner(self, plan: ArrayPlan) -> List[JobResult]:
         jobs, templates = plan.jobs, plan.templates
         num_models = plan.num_models
-        array_id = self._next_array_id
-        self._next_array_id += 1
+        array_id = self._array_ids()
         for sub in jobs:
             self.queue.mark_running(sub)
 
@@ -234,5 +266,7 @@ class TrainingArrayEngine:
         self.metrics.record_array(ArrayRecord(
             array_id=array_id, signature=plan.cohort.signature,
             num_models=num_models, width_cap=plan.width_cap,
-            steps=plan.steps, samples=samples, seconds=seconds))
+            steps=plan.steps, samples=samples, seconds=seconds,
+            device=plan.device or self.device_name,
+            sim_seconds=plan.projected_seconds))
         return results

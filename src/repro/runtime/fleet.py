@@ -1,0 +1,215 @@
+"""Multi-device fleet scheduler: serve one job stream across many devices.
+
+This is the top of the runtime after the fleet refactor.  The single-device
+:class:`~repro.runtime.engine.TrainingArrayEngine` is demoted to a
+*per-device worker*; the fleet owns the shared intake queue and metrics and
+runs the scheduling loop::
+
+    queue.pop_pending()                       (queue.py)
+      -> batcher.form_cohorts()               (batcher.py)
+      -> placer.place()                       (placement.py, repro.hwsim)
+           device + width per array, cost-model driven
+      -> per-device plan queues, one worker thread per device
+           worker.engine.train_plan(plan)     (engine.py)
+           idle workers steal fitting plans from the busiest queue
+      -> metrics.record_array(device=...)     (metrics.py)
+
+Concurrency model: devices are *simulated* accelerators, so "a device
+trains an array" means a worker thread runs the numpy training loop.  The
+threads share nothing but the thread-safe queue/metrics and a dispatch
+lock around the per-device plan deques; each array's training is fully
+independent (own templates, own optimizer state), which is why fleet
+execution preserves the runtime's core invariant — every checkpoint is
+bit-equivalent to serial training.
+
+Failure isolation carries over from the engine: a failing multi-job array
+quarantines its jobs (``solo``) back into the shared queue, and the *next*
+scheduling cycle retries them as width-1 arrays — on whichever device the
+cost model then picks.  A failing array occupies only its own device;
+cohort-mates already dispatched elsewhere keep training.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from ..hwsim import DeviceSpec
+from .batcher import Batcher
+from .engine import JobResult, TrainingArrayEngine
+from .metrics import RuntimeMetrics
+from .placement import DEFAULT_FLEET, FleetPlacer, PlacementDecision
+from .queue import JobQueue, TrainingJob
+
+__all__ = ["DeviceWorker", "FleetScheduler"]
+
+
+class DeviceWorker:
+    """One device of the fleet: an engine bound to a device plus its queue."""
+
+    def __init__(self, device: DeviceSpec, engine: TrainingArrayEngine):
+        self.device = device
+        self.engine = engine
+        self.plans: Deque[PlacementDecision] = deque()
+
+    @property
+    def name(self) -> str:
+        return self.device.name
+
+
+class FleetScheduler:
+    """Places and trains fused arrays across a fleet of simulated devices.
+
+    Drop-in analogue of :class:`TrainingArrayEngine` at fleet scale: same
+    ``submit`` / ``run_cycle`` / ``run_until_idle`` surface, same
+    :class:`JobResult` contract, but each scheduling cycle places arrays on
+    the cost-model-optimal devices and trains them concurrently.
+
+    ``work_stealing`` (default on) lets a device whose plan queue drained
+    steal the last fitting plan from the longest remaining queue — idle
+    hardware is the exact waste the paper quantifies, so the fleet never
+    leaves a device parked while another has a backlog it could legally
+    run (the stolen array must fit the thief's memory cap).
+    """
+
+    def __init__(self, devices: Sequence[DeviceSpec] = DEFAULT_FLEET,
+                 placer: Optional[FleetPlacer] = None,
+                 batcher: Optional[Batcher] = None,
+                 metrics: Optional[RuntimeMetrics] = None,
+                 queue: Optional[JobQueue] = None,
+                 max_width: int = 8, precision: str = "amp",
+                 default_workload: str = "pointnet_cls",
+                 work_stealing: bool = True):
+        # `is not None`, not `or`: an empty JobQueue is falsy (__len__ == 0)
+        self.queue = queue if queue is not None else JobQueue()
+        self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        self.batcher = batcher if batcher is not None else Batcher()
+        self.placer = placer if placer is not None else FleetPlacer(
+            devices=tuple(devices), max_width=max_width, precision=precision,
+            default_workload=default_workload)
+        self.work_stealing = work_stealing
+        self._dispatch_lock = threading.Lock()
+        self._id_lock = threading.Lock()
+        self._next_array_id = 0
+        self.workers: Dict[str, DeviceWorker] = {}
+        for device in self.placer.devices:
+            engine = TrainingArrayEngine(
+                queue=self.queue, metrics=self.metrics, device=device,
+                array_ids=self._allocate_array_id)
+            self.workers[device.name] = DeviceWorker(device, engine)
+
+    def _allocate_array_id(self) -> int:
+        with self._id_lock:
+            array_id = self._next_array_id
+            self._next_array_id += 1
+            return array_id
+
+    # ------------------------------------------------------------------ #
+    # submission (same surface as the single-device engine)
+    # ------------------------------------------------------------------ #
+    def submit(self, job: TrainingJob) -> int:
+        """Accept a job for the next scheduling cycle; returns its id."""
+        job_id = self.queue.submit(job)
+        self.metrics.record_submit()
+        return job_id
+
+    def submit_all(self, jobs: Sequence[TrainingJob]) -> List[int]:
+        return [self.submit(job) for job in jobs]
+
+    # ------------------------------------------------------------------ #
+    # scheduling cycles
+    # ------------------------------------------------------------------ #
+    def run_cycle(self, max_jobs: int = 0) -> List[JobResult]:
+        """Batch, place, and concurrently train one round of pending jobs."""
+        batch = self.queue.pop_pending(max_jobs)
+        if not batch:
+            return []
+        cohorts, failures = self.batcher.form_cohorts(batch)
+        for sub, error in failures:
+            self.queue.mark_failed(sub, error)
+            self.metrics.record_failure()
+
+        for decision in self.placer.place(cohorts):
+            self.workers[decision.device_name].plans.append(decision)
+        return self._run_workers()
+
+    def run_until_idle(self) -> Dict[int, JobResult]:
+        """Run cycles until the queue is empty; results keyed by job id.
+
+        Also records the fleet's wall-clock serving time, the denominator
+        of :attr:`RuntimeMetrics.aggregate_throughput` and of the
+        per-device utilization counters.
+        """
+        results: Dict[int, JobResult] = {}
+        start = time.perf_counter()
+        while self.queue.pending_count:
+            for result in self.run_cycle():
+                results[result.job_id] = result
+        self.metrics.record_wall(time.perf_counter() - start)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # the worker pool
+    # ------------------------------------------------------------------ #
+    def _run_workers(self) -> List[JobResult]:
+        """Drain every device's plan queue on its own thread, then join."""
+        results: List[JobResult] = []
+        results_lock = threading.Lock()
+        threads = [threading.Thread(target=self._worker_loop, name=name,
+                                    args=(worker, results, results_lock),
+                                    daemon=True)
+                   for name, worker in self.workers.items()]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return results
+
+    def _worker_loop(self, worker: DeviceWorker, results: List[JobResult],
+                     results_lock: threading.Lock) -> None:
+        while True:
+            decision = self._take(worker)
+            if decision is None:
+                return
+            # train_plan contains its own failure isolation (quarantine
+            # requeue); anything it does raise must not kill the thread and
+            # stall join() of a healthy fleet — record and move on.
+            try:
+                out = worker.engine.train_plan(decision.plan)
+            except Exception:  # noqa: BLE001 — worker must outlive any array
+                self.metrics.record_array_failure()
+                continue
+            with results_lock:
+                results.extend(out)
+
+    def _take(self, worker: DeviceWorker) -> Optional[PlacementDecision]:
+        """Next plan for ``worker``: its own queue, else a stolen one."""
+        with self._dispatch_lock:
+            if worker.plans:
+                return worker.plans.popleft()
+            if not self.work_stealing:
+                return None
+            victims = sorted((w for w in self.workers.values()
+                              if w is not worker and w.plans),
+                             key=lambda w: len(w.plans), reverse=True)
+            for victim in victims:
+                # steal from the tail (the victim reaches it last), newest
+                # eligible plan first; the plan must fit the thief's device
+                for decision in reversed(victim.plans):
+                    if not self.placer.fits(decision.plan, worker.device):
+                        continue
+                    victim.plans.remove(decision)
+                    return self._retag(decision, worker)
+        return None
+
+    def _retag(self, decision: PlacementDecision,
+               thief: DeviceWorker) -> PlacementDecision:
+        """Re-cost a stolen plan for the device that will actually run it."""
+        estimate = self.placer.estimate(decision.plan, thief.device)
+        decision.plan.device = thief.name
+        decision.plan.projected_seconds = estimate.train_seconds
+        self.metrics.record_steal()
+        return PlacementDecision(plan=decision.plan, device=thief.device,
+                                 estimate=estimate)

@@ -12,7 +12,7 @@ printable by the harness's ``print_table``.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 __all__ = ["ArrayRecord", "RuntimeMetrics"]
@@ -29,6 +29,8 @@ class ArrayRecord:
     steps: int            # gang-scheduled step budget
     samples: int          # total training samples processed (all models)
     seconds: float        # wall-clock training time
+    device: str = ""      # fleet device that executed the array ("" = n/a)
+    sim_seconds: float = 0.0  # placer's cost-model projection for the array
 
     @property
     def occupancy(self) -> float:
@@ -52,6 +54,13 @@ class RuntimeMetrics:
         self.jobs_failed = 0
         self.arrays_failed = 0
         self.records: List[ArrayRecord] = []
+        #: wall-clock seconds the fleet spent serving (devices concurrent),
+        #: recorded by FleetScheduler.run_until_idle; 0 for the single-device
+        #: engine, whose train_seconds IS its wall time
+        self.wall_seconds = 0.0
+        #: arrays executed by a device other than the one the placer chose
+        #: (idle-device work stealing)
+        self.plans_stolen = 0
 
     # ------------------------------------------------------------------ #
     # recording
@@ -73,6 +82,16 @@ class RuntimeMetrics:
         """An array launch that raised (its jobs retry solo or fail)."""
         with self._lock:
             self.arrays_failed += 1
+
+    def record_wall(self, seconds: float) -> None:
+        """Add fleet wall-clock serving time (devices run concurrently)."""
+        with self._lock:
+            self.wall_seconds += seconds
+
+    def record_steal(self) -> None:
+        """An idle device stole a plan from another device's queue."""
+        with self._lock:
+            self.plans_stolen += 1
 
     # ------------------------------------------------------------------ #
     # aggregates
@@ -120,6 +139,77 @@ class RuntimeMetrics:
         return sum(r.occupancy * r.steps for r in self.records) / weight
 
     # ------------------------------------------------------------------ #
+    # fleet aggregates (per-device counters; empty for single-device runs)
+    # ------------------------------------------------------------------ #
+    @property
+    def devices(self) -> List[str]:
+        """Device names that executed at least one array, in first-use order."""
+        seen: List[str] = []
+        for r in self.records:
+            if r.device and r.device not in seen:
+                seen.append(r.device)
+        return seen
+
+    def device_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-device utilization/occupancy counters.
+
+        ``busy_seconds`` is the device's total in-array training time;
+        ``utilization`` is that time over the fleet's wall-clock serving
+        time (1.0 = the device never sat idle while the fleet was serving).
+        """
+        summary: Dict[str, Dict[str, float]] = {}
+        for name in self.devices:
+            recs = [r for r in self.records if r.device == name]
+            busy = sum(r.seconds for r in recs)
+            samples = sum(r.samples for r in recs)
+            steps = sum(r.steps for r in recs)
+            occupancy = (sum(r.occupancy * r.steps for r in recs) / steps
+                         if steps else 0.0)
+            summary[name] = {
+                "arrays": len(recs),
+                "jobs": sum(r.num_models for r in recs),
+                "samples": samples,
+                "busy_seconds": busy,
+                "sim_seconds": sum(r.sim_seconds for r in recs),
+                "throughput": samples / busy if busy > 0 else 0.0,
+                "occupancy": occupancy,
+                "utilization": (busy / self.wall_seconds
+                                if self.wall_seconds > 0 else 0.0),
+            }
+        return summary
+
+    @property
+    def aggregate_throughput(self) -> float:
+        """Fleet-level samples/s: total samples over wall-clock serving time.
+
+        Unlike :attr:`throughput` (which divides by *summed* per-array
+        training time), this credits the fleet for running devices
+        concurrently.  0.0 until a wall time is recorded.
+        """
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.samples_processed / self.wall_seconds
+
+    @property
+    def simulated_makespan(self) -> float:
+        """Cost-model makespan: the busiest device's summed projections."""
+        per_device = [sum(r.sim_seconds for r in self.records
+                          if r.device == name) for name in self.devices]
+        return max(per_device, default=0.0)
+
+    @property
+    def simulated_aggregate_throughput(self) -> float:
+        """Samples/s the cost model projects for this placement.
+
+        Devices run concurrently, so the fleet finishes when its busiest
+        device does; a single-device placement's makespan is its whole
+        summed projection.  This is the quantity the fleet benchmark
+        compares across fleet sizes.
+        """
+        makespan = self.simulated_makespan
+        return self.samples_processed / makespan if makespan > 0 else 0.0
+
+    # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
     def as_dict(self) -> Dict[str, float]:
@@ -136,6 +226,11 @@ class RuntimeMetrics:
             "samples_processed": self.samples_processed,
             "train_seconds": self.train_seconds,
             "throughput_samples_per_s": self.throughput,
+            "wall_seconds": self.wall_seconds,
+            "plans_stolen": self.plans_stolen,
+            "aggregate_throughput_samples_per_s": self.aggregate_throughput,
+            "simulated_aggregate_throughput": (
+                self.simulated_aggregate_throughput),
         }
 
     def report(self) -> Tuple[List[Tuple], Tuple[str, ...]]:
@@ -145,4 +240,14 @@ class RuntimeMetrics:
         rows = [(r.array_id, r.signature[:14], r.num_models, r.width_cap,
                  r.occupancy, r.steps, r.samples, r.throughput)
                 for r in self.records]
+        return rows, header
+
+    def fleet_report(self) -> Tuple[List[Tuple], Tuple[str, ...]]:
+        """Per-device rows + header, printable by the benchmark harness."""
+        header = ("device", "arrays", "jobs", "samples", "busy_s",
+                  "utilization", "occupancy", "samples/s")
+        rows = [(name, s["arrays"], s["jobs"], s["samples"],
+                 s["busy_seconds"], s["utilization"], s["occupancy"],
+                 s["throughput"])
+                for name, s in self.device_summary().items()]
         return rows, header

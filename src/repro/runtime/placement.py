@@ -1,0 +1,209 @@
+"""Cost-model placement: which device should each fused array train on?
+
+The fleet scheduler's answer to the MLSys co-design framing (Ratner et
+al.): placement is not round-robin but *hardware-aware* — the analytical
+device model that reproduces the paper's figures (:mod:`repro.hwsim`) is
+queried online for every cohort.  For each candidate device the placer
+computes the effective width cap (the operator ``max_width`` and the
+device's memory capacity under HFTA sharing, :func:`repro.hwsim.
+max_models`) and the projected training time of the array at that width
+(:func:`repro.hwsim.estimate_array_cost`, i.e. the HFTA execution model of
+:func:`repro.hwsim.sharing.simulate` over the workload's kernel costs).
+
+The device chosen for an array is the one that *finishes the cohort's
+remaining models first* given the load already placed this cycle — with an
+idle fleet that is exactly the device the cost model projects to train the
+cohort fastest, and under load it degrades gracefully into
+shortest-completion-time balancing, so one fast device does not absorb the
+whole stream.  Ranking always compares the *whole remaining chunk set* per
+device (equal work), never one device's narrow chunk against another's
+full-width array.
+
+A cohort wider than the chosen device's cap falls back to **partial
+fusion**: :func:`repro.hfht.partition.split_oversized` carves a
+capacity-sized chunk off the cohort, and the remainder is placed
+independently — possibly on a different device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hfht.partition import Partition, split_oversized
+from ..hwsim import (A100, RTX6000, TPU_V3, V100, ArrayCostEstimate,
+                     DeviceSpec, WorkloadSpec, estimate_array_cost,
+                     get_workload, max_models)
+from .batcher import Cohort
+from .policy import ArrayPlan
+
+__all__ = ["DEFAULT_FLEET", "PlacementDecision", "FleetPlacer"]
+
+#: the paper's evaluation devices (Tables 2-4): three generations of NVIDIA
+#: data-center GPUs plus a TPU v3 core — a deliberately heterogeneous fleet
+DEFAULT_FLEET: Tuple[DeviceSpec, ...] = (V100, RTX6000, A100, TPU_V3)
+
+
+@dataclass
+class PlacementDecision:
+    """One placed array: the plan, its device, and the cost projection."""
+
+    plan: ArrayPlan
+    device: DeviceSpec
+    estimate: ArrayCostEstimate
+
+    @property
+    def device_name(self) -> str:
+        return self.device.name
+
+    @property
+    def projected_seconds(self) -> float:
+        return self.estimate.train_seconds
+
+    @property
+    def projected_throughput(self) -> float:
+        return self.estimate.throughput
+
+
+@dataclass
+class FleetPlacer:
+    """Places fusible cohorts onto a heterogeneous device fleet.
+
+    Parameters
+    ----------
+    devices:
+        The fleet.  Order only breaks exact cost ties.
+    max_width:
+        Operator-configured array-width cap, applied on every device on
+        top of its memory cap (same role as ``ArrayPolicy.max_width``).
+    precision:
+        Precision the cost model assumes (``amp`` falls back to ``fp32``
+        per device capability, as on real hardware).
+    default_workload:
+        hwsim workload used to cost cohorts whose jobs carry no
+        ``TrainingJob.workload`` hint.
+    """
+
+    devices: Sequence[DeviceSpec] = DEFAULT_FLEET
+    max_width: int = 8
+    precision: str = "amp"
+    default_workload: str = "pointnet_cls"
+
+    def __post_init__(self):
+        if not self.devices:
+            raise ValueError("fleet needs at least one device")
+        if self.max_width < 1:
+            raise ValueError("max_width must be >= 1")
+        names = [d.name for d in self.devices]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate device names in fleet: {names}")
+
+    # ------------------------------------------------------------------ #
+    def resolve_workload(self, cohort_or_plan) -> WorkloadSpec:
+        """The hwsim workload costing a cohort/plan (hint or default)."""
+        hint = getattr(cohort_or_plan, "workload", None)
+        return get_workload(hint or self.default_workload)
+
+    def width_cap(self, workload: WorkloadSpec, device: DeviceSpec) -> int:
+        """Effective array-width limit of ``device`` for ``workload``."""
+        memory_cap = max_models(workload, device, "hfta", self.precision)
+        return min(self.max_width, memory_cap)
+
+    def fits(self, plan: ArrayPlan, device: DeviceSpec) -> bool:
+        """Whether ``plan`` fits ``device`` (work-stealing eligibility)."""
+        workload = self.resolve_workload(plan)
+        return plan.num_models <= self.width_cap(workload, device)
+
+    def estimate(self, plan: ArrayPlan,
+                 device: DeviceSpec) -> ArrayCostEstimate:
+        """Cost-model projection of ``plan`` on ``device``."""
+        return estimate_array_cost(plan, device, self.precision,
+                                   workload=self.resolve_workload(plan))
+
+    # ------------------------------------------------------------------ #
+    def place(self, cohorts: Sequence[Cohort],
+              load: Optional[Dict[str, float]] = None
+              ) -> List[PlacementDecision]:
+        """Turn cohorts into device-assigned, width-sized array plans.
+
+        ``load`` (device name -> projected busy seconds) carries queue
+        depth across calls; within one call it accumulates, so the chunks
+        of a split cohort and the arrays of later cohorts spread over the
+        fleet instead of piling onto one device.
+        """
+        load = load if load is not None else {}
+        for device in self.devices:
+            load.setdefault(device.name, 0.0)
+
+        decisions: List[PlacementDecision] = []
+        for cohort in cohorts:
+            workload = self.resolve_workload(cohort)
+            remaining = Partition(
+                infusible_values=cohort.infusible_values,
+                configs=[sub.job.config for sub in cohort.jobs],
+                original_indices=list(range(cohort.num_models)))
+            while remaining.num_models:
+                device, cap, estimate = self._best_device(
+                    cohort, workload, remaining.num_models, load)
+                # partial-fusion fallback: carve one capacity-sized chunk
+                # off the front; the rest is re-placed (the load this chunk
+                # adds may make another device finish the next chunk first)
+                chunk, *rest = split_oversized([remaining], cap)
+                remaining = Partition(
+                    remaining.infusible_values,
+                    [c for part in rest for c in part.configs],
+                    [i for part in rest for i in part.original_indices])
+                plan = ArrayPlan(cohort=cohort,
+                                 indices=list(chunk.original_indices),
+                                 width_cap=cap, device=device.name,
+                                 projected_seconds=estimate.train_seconds)
+                decisions.append(PlacementDecision(
+                    plan=plan, device=device, estimate=estimate))
+                load[device.name] += estimate.train_seconds
+        return decisions
+
+    def _best_device(self, cohort: Cohort, workload: WorkloadSpec,
+                     num_models: int, load: Dict[str, float]
+                     ) -> Tuple[DeviceSpec, int, ArrayCostEstimate]:
+        """The device finishing the ``num_models`` remaining models soonest.
+
+        Devices are ranked by the projected completion time of the *whole*
+        remaining chunk set (``ceil(n / cap)`` cap-sized arrays), never by
+        a single chunk: per-device caps differ, and comparing a
+        low-capacity device's narrow chunk against a high-capacity
+        device's full-width array would compare unequal amounts of work —
+        systematically preferring the device that de-fuses the cohort.
+        Only the first chunk is committed per call; the remainder is
+        re-ranked with the updated load.
+        """
+        best = None
+        for device in self.devices:
+            cap = self.width_cap(workload, device)
+            if cap < 1:
+                continue        # device cannot fit even one model
+            widths = [cap] * (num_models // cap)
+            if num_models % cap:
+                widths.append(num_models % cap)
+            estimates = {w: estimate_array_cost(
+                _CostProbe(w, cohort.steps), device, self.precision,
+                workload=workload) for w in set(widths)}
+            finish = load[device.name] + sum(
+                estimates[w].train_seconds for w in widths)
+            first = estimates[widths[0]]
+            key = (finish, -first.throughput)
+            if best is None or key < best[0]:
+                best = (key, device, cap, first)
+        if best is None:
+            raise RuntimeError(
+                f"no device in the fleet can fit a single '{workload.name}' "
+                f"model under HFTA "
+                f"(devices: {[d.name for d in self.devices]})")
+        return best[1], best[2], best[3]
+
+
+@dataclass(frozen=True)
+class _CostProbe:
+    """Minimal duck-typed plan for costing a hypothetical array width."""
+
+    num_models: int
+    steps: int

@@ -21,7 +21,7 @@ becomes its own :class:`ArrayPlan`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..hfht.partition import Partition, split_oversized
@@ -39,10 +39,21 @@ class ArrayPlan:
     cohort: Cohort
     indices: List[int]          # positions within cohort.jobs
     width_cap: int
+    #: name of the device the fleet placer assigned this array to ("" when
+    #: the plan runs on the single-device engine); workers retag stolen plans
+    device: str = ""
+    #: the placer's cost-model projection of this array's training time on
+    #: ``device`` (seconds); recorded into the array's ArrayRecord
+    projected_seconds: float = 0.0
 
     @property
     def jobs(self) -> List[SubmittedJob]:
         return [self.cohort.jobs[i] for i in self.indices]
+
+    @property
+    def workload(self) -> "str | None":
+        """The cohort's hwsim workload hint (placement cost-model input)."""
+        return self.cohort.workload
 
     @property
     def templates(self):

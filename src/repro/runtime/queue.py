@@ -89,6 +89,13 @@ class TrainingJob:
         runtime's default infusible key set.
     user:
         Submitting user (accounting only; the runtime packs across users).
+    workload:
+        Optional :mod:`repro.hwsim` workload name (``pointnet_cls``,
+        ``dcgan``, ...) describing what this job looks like on real
+        hardware.  The fleet placer (:mod:`repro.runtime.placement`) feeds
+        it to the analytical cost model to pick the device and fusion
+        width; jobs with different hints never share an array.  Ignored by
+        the single-device engine.
     """
 
     name: str
@@ -100,6 +107,7 @@ class TrainingJob:
     loss: str = "cross_entropy"
     space: Optional[SearchSpace] = None
     user: str = "default"
+    workload: Optional[str] = None
 
     def __post_init__(self):
         if self.steps < 1:

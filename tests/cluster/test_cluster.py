@@ -1,6 +1,5 @@
 """Tests for the cluster-usage study machinery (Table 1, Figures 9-10)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -4,7 +4,6 @@ These tests assert the *qualitative* properties the paper establishes (who
 wins, what plateaus, what scales) rather than absolute numbers.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

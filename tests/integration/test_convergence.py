@@ -8,7 +8,6 @@ model produces when trained alone.
 """
 
 import numpy as np
-import pytest
 
 from repro import nn, optim as serial_optim, hfta
 from repro.data import DataLoader, SyntheticCIFAR10

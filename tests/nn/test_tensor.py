@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import nn
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import no_grad
 
 
 def t64(arr, requires_grad=True):

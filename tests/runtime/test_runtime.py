@@ -138,6 +138,17 @@ class TestBatcher:
         cohorts, _ = Batcher().form_cohorts(batch)
         assert len(cohorts) == 2
 
+    def test_search_space_cannot_make_default_infusible_keys_fusible(self):
+        """Regression: a space declaring only its own infusible names used
+        to *replace* the default infusible key set, silently fusing jobs
+        with different optimizers — and training both with the first
+        job's optimizer.  The space's names must union with the defaults."""
+        space = SearchSpace([HyperParameter("lr", True, 1e-4, 1e-2)])
+        jobs = [make_job(0, space=space),
+                make_job(1, optimizer="sgd", space=space)]
+        cohorts, _ = Batcher().form_cohorts(self._schedule(jobs))
+        assert len(cohorts) == 2   # optimizer stays infusible
+
     def test_search_space_declares_infusible_keys(self):
         space = SearchSpace([
             HyperParameter("lr", True, 1e-4, 1e-2),

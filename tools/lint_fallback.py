@@ -1,0 +1,233 @@
+"""Stdlib fallback linter for environments without ruff.
+
+``make lint`` prefers ``ruff check`` (configured in ``pyproject.toml``);
+when ruff is not installed — e.g. the offline container this repo grows in,
+which cannot pip-install — this script enforces the core of the same rule
+families with only the standard library:
+
+* F401  — imported but unused (``__all__`` re-exports count as uses)
+* F811  — redefinition of an unused import
+* E401  — multiple imports on one line (``import os, sys``)
+* E711  — comparison to ``None`` with ``==`` / ``!=``
+* E712  — comparison to ``True`` / ``False`` with ``==`` / ``!=``
+* E722  — bare ``except:``
+* E741  — ambiguous single-letter names ``l`` / ``O`` / ``I``
+* W291/W293 — trailing whitespace
+* W292  — no newline at end of file
+* E999  — syntax errors (the file fails to parse)
+
+Exit status is the number of findings (0 = clean), so it slots into CI the
+same way ``ruff check`` does.
+
+Run:  python tools/lint_fallback.py [paths...]   (default: the repo)
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_ROOTS = ("src", "tests", "benchmarks", "examples", "tools", "setup.py")
+AMBIGUOUS = {"l", "O", "I"}
+
+
+def iter_python_files(roots):
+    for root in roots:
+        path = Path(root)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+
+
+class ImportChecker(ast.NodeVisitor):
+    """Collects F401/F811 findings for one module."""
+
+    def __init__(self):
+        self.imports = {}        # name -> (lineno, shown), pending use
+        self.findings = []
+        self.used = set()
+        self.exported = set()
+        self._function_depth = 0   # function-scoped imports are their own
+                                   # scope; only check module-level ones
+
+    def visit_FunctionDef(self, node):
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Import(self, node):
+        if self._function_depth == 0:
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                self._bind(name, node.lineno, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node):
+        if node.module == "__future__":   # never unused (compiler directive)
+            return
+        if self._function_depth == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                name = alias.asname or alias.name
+                self._bind(name, node.lineno, alias.name)
+        self.generic_visit(node)
+
+    def _bind(self, name, lineno, shown):
+        if name in self.imports:
+            self.findings.append(
+                (self.imports[name][0],
+                 f"F811 redefinition of unused import '{name}' "
+                 f"(also line {lineno})"))
+        self.imports[name] = (lineno, shown)
+
+    def visit_Name(self, node):
+        if isinstance(node.ctx, ast.Load):
+            self.used.add(node.id)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node):
+        # record the root name of dotted uses (os.path -> os)
+        root = node
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if isinstance(root, ast.Name):
+            self.used.add(root.id)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node):
+        # names in __all__ count as re-exports
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                for element in ast.walk(node.value):
+                    if (isinstance(element, ast.Constant)
+                            and isinstance(element.value, str)):
+                        self.exported.add(element.value)
+        self.generic_visit(node)
+
+    def unused(self):
+        for name, (lineno, shown) in self.imports.items():
+            if name.startswith("_"):
+                continue
+            if name not in self.used and name not in self.exported:
+                yield lineno, f"F401 '{shown}' imported but unused"
+
+
+class StatementChecker(ast.NodeVisitor):
+    """E401/E711/E712/E722/E741 on the parsed tree."""
+
+    def __init__(self):
+        self.findings = []
+
+    def visit_Import(self, node):
+        if len(node.names) > 1:
+            self.findings.append(
+                (node.lineno, "E401 multiple imports on one line"))
+        self.generic_visit(node)
+
+    def visit_Compare(self, node):
+        operands = [node.left] + node.comparators
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for operand in (left, right):
+                if not isinstance(operand, ast.Constant):
+                    continue
+                if operand.value is None:
+                    self.findings.append(
+                        (node.lineno, "E711 comparison to None "
+                                      "(use 'is' / 'is not')"))
+                elif isinstance(operand.value, bool):
+                    self.findings.append(
+                        (node.lineno, "E712 comparison to True/False"))
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node):
+        if node.type is None:
+            self.findings.append((node.lineno, "E722 bare 'except:'"))
+        self.generic_visit(node)
+
+    def _check_name(self, name, lineno):
+        if name in AMBIGUOUS:
+            self.findings.append(
+                (lineno, f"E741 ambiguous variable name '{name}'"))
+
+    def visit_FunctionDef(self, node):
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node):
+        self._visit_function(node)
+
+    def _visit_function(self, node):
+        args = node.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])):
+            self._check_name(arg.arg, arg.lineno)
+        self._check_name(node.name, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node):
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._check_name(target.id, target.lineno)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node):
+        for arg in node.args.args:
+            self._check_name(arg.arg, arg.lineno)
+        self.generic_visit(node)
+
+
+def check_file(path: Path):
+    findings = []
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [(0, f"E902 cannot read file: {exc}")]
+
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if line != line.rstrip():
+            code = "W293" if not line.strip() else "W291"
+            findings.append((lineno, f"{code} trailing whitespace"))
+    if source and not source.endswith("\n"):
+        findings.append((len(source.splitlines()),
+                         "W292 no newline at end of file"))
+
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        findings.append((exc.lineno or 0, f"E999 syntax error: {exc.msg}"))
+        return findings
+
+    imports = ImportChecker()
+    imports.visit(tree)
+    findings.extend(imports.findings)
+    findings.extend(imports.unused())
+
+    statements = StatementChecker()
+    statements.visit(tree)
+    findings.extend(statements.findings)
+    return sorted(findings)
+
+
+def main(argv):
+    roots = argv or [r for r in DEFAULT_ROOTS if Path(r).exists()]
+    total = 0
+    for path in iter_python_files(roots):
+        for lineno, message in check_file(path):
+            print(f"{path}:{lineno}: {message}")
+            total += 1
+    if total:
+        print(f"\n{total} finding(s)")
+    else:
+        print("lint_fallback: clean")
+    return min(total, 255)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
