@@ -37,12 +37,14 @@ docs-check:
 	repro.hwsim, repro.cluster, repro.runtime, repro.models, repro.data; \
 	print('docs-check: all documented packages import cleanly')"
 
-# run every example end-to-end (runtime_serving and fleet_serving assert
-# serial equivalence of every exported checkpoint)
+# run every example end-to-end (runtime_serving, fleet_serving and
+# elastic_tuning assert serial equivalence of every exported checkpoint,
+# including checkpoints evicted mid-training)
 examples:
 	PYTHONPATH=src $(PY) examples/quickstart.py
 	PYTHONPATH=src $(PY) examples/runtime_serving.py
 	PYTHONPATH=src $(PY) examples/fleet_serving.py
+	PYTHONPATH=src $(PY) examples/elastic_tuning.py
 	PYTHONPATH=src $(PY) examples/partial_fusion.py
 	PYTHONPATH=src $(PY) examples/hfht_tuning.py
 	PYTHONPATH=src $(PY) examples/dcgan_array.py

@@ -11,7 +11,8 @@ from .space import (HyperParameter, SearchSpace, pointnet_search_space,
                     mobilenet_search_space)
 from .partition import (Partition, partition_and_fuse, split_oversized,
                         unfuse_and_reorder)
-from .algorithms import Trial, TuningAlgorithm, RandomSearch, Hyperband
+from .algorithms import (Trial, TuningAlgorithm, RandomSearch, Hyperband,
+                         MedianStopper, SuccessiveHalvingStopper)
 from .surrogate import surrogate_accuracy
 from .scheduler import JobScheduler, SchedulerResult, SCHEDULER_MODES
 from .tuner import HFHT, TuningOutcome
@@ -21,6 +22,7 @@ __all__ = [
     "mobilenet_search_space", "Partition", "partition_and_fuse",
     "split_oversized", "unfuse_and_reorder", "Trial", "TuningAlgorithm",
     "RandomSearch",
-    "Hyperband", "surrogate_accuracy", "JobScheduler", "SchedulerResult",
+    "Hyperband", "MedianStopper", "SuccessiveHalvingStopper",
+    "surrogate_accuracy", "JobScheduler", "SchedulerResult",
     "SCHEDULER_MODES", "HFHT", "TuningOutcome",
 ]

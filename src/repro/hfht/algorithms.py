@@ -4,19 +4,30 @@ Both follow the propose / evaluate / update paradigm of the paper's
 Algorithm 1, yielding *batches* of (configuration, epochs) trials so that the
 scheduler can partition-and-fuse each batch (HFHT) or run it through the
 process-based sharing baselines.
+
+The *early-stop signals* at the bottom bridge HFHT's kill-bad-trials-early
+decisions into the elastic training-array runtime: each trial's signal is a
+``stop(epochs_done, loss_curve) -> bool`` callback attached to its
+``TrainingJob`` (:class:`repro.runtime.TrainingJob`), evaluated by the
+:class:`~repro.runtime.engine.ArrayExecutor` at every epoch boundary.  A
+trial the signal kills is *evicted* from its fused array, freeing its slot
+for a queued trial — instead of riding the array to completion as dead
+width, which is exactly the waste the run-to-completion runtime suffered.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .space import SearchSpace, Value
 
-__all__ = ["Trial", "TuningAlgorithm", "RandomSearch", "Hyperband"]
+__all__ = ["Trial", "TuningAlgorithm", "RandomSearch", "Hyperband",
+           "MedianStopper", "SuccessiveHalvingStopper"]
 
 
 @dataclass
@@ -157,3 +168,121 @@ class Hyperband(TuningAlgorithm):
 
     def finished(self) -> bool:
         return self._stage >= len(self._plan)
+
+
+# --------------------------------------------------------------------- #
+# early-stop signals: live tuning decisions for the elastic runtime
+# --------------------------------------------------------------------- #
+class _TrialStopper:
+    """Shared base: per-trial loss reporting behind one lock.
+
+    Subclasses implement :meth:`_should_stop`; :meth:`signal` hands out the
+    per-trial callback the runtime calls at epoch boundaries.  The monitor
+    is thread-safe because a fleet evaluates the callbacks of different
+    arrays on different device-worker threads.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: trial id -> best (lowest) loss seen by each completed epoch
+        self._best_by_epoch: Dict[object, List[float]] = {}
+        self._stopped: set = set()
+
+    def signal(self, trial_id) -> Callable[[int, List[float]], bool]:
+        """The ``TrainingJob.stop`` callback for trial ``trial_id``."""
+        def stop(epochs_done: int, curve: List[float]) -> bool:
+            if not curve:
+                return False
+            with self._lock:
+                best = self._best_by_epoch.setdefault(trial_id, [])
+                latest = min(curve)
+                while len(best) < epochs_done:
+                    best.append(latest)
+                best[epochs_done - 1] = min(best[epochs_done - 1], latest)
+                if trial_id in self._stopped:
+                    return True
+                if self._should_stop(trial_id, epochs_done):
+                    self._stopped.add(trial_id)
+                    return True
+                return False
+        return stop
+
+    def _should_stop(self, trial_id, epochs_done: int) -> bool:
+        raise NotImplementedError
+
+    def _peers_at(self, trial_id, epoch: int) -> List[float]:
+        """Other trials' best-so-far losses at ``epoch`` (1-based)."""
+        return [best[epoch - 1]
+                for other, best in self._best_by_epoch.items()
+                if other != trial_id and len(best) >= epoch]
+
+
+class MedianStopper(_TrialStopper):
+    """The median stopping rule (as popularized by Google Vizier).
+
+    A trial stops when its best loss so far is worse than the *median* of
+    the other trials' best-so-far losses at the same epoch — a simple,
+    algorithm-agnostic early-stopping policy that pairs naturally with
+    :class:`RandomSearch`.  ``warmup_epochs`` epochs are always granted,
+    and no trial stops before ``min_trials`` peers have reported the same
+    epoch (early medians are noise).
+    """
+
+    def __init__(self, warmup_epochs: int = 1, min_trials: int = 3):
+        super().__init__()
+        if warmup_epochs < 0:
+            raise ValueError("warmup_epochs must be >= 0")
+        if min_trials < 2:
+            raise ValueError("min_trials must be >= 2")
+        self.warmup_epochs = warmup_epochs
+        self.min_trials = min_trials
+
+    def _should_stop(self, trial_id, epochs_done: int) -> bool:
+        if epochs_done <= self.warmup_epochs:
+            return False
+        peers = self._peers_at(trial_id, epochs_done)
+        if len(peers) < self.min_trials:
+            return False
+        own = self._best_by_epoch[trial_id][epochs_done - 1]
+        return own > float(np.median(peers))
+
+
+class SuccessiveHalvingStopper(_TrialStopper):
+    """Live successive halving: Hyperband's rung elimination as a signal.
+
+    At every *rung* (``min_epochs * eta^k`` epochs), only the top
+    ``1/eta`` of the trials that reached the rung keep training; the rest
+    stop.  This is the online analogue of :class:`Hyperband`'s
+    between-round elimination — instead of waiting for the whole fused
+    batch to finish the round, losers are evicted from the array at the
+    rung boundary and their width is freed immediately.
+    """
+
+    def __init__(self, eta: int = 3, min_epochs: int = 1):
+        super().__init__()
+        if eta < 2:
+            raise ValueError("eta must be >= 2")
+        if min_epochs < 1:
+            raise ValueError("min_epochs must be >= 1")
+        self.eta = eta
+        self.min_epochs = min_epochs
+
+    def _is_rung(self, epoch: int) -> bool:
+        rung = self.min_epochs
+        while rung < epoch:
+            rung *= self.eta
+        return rung == epoch
+
+    def _should_stop(self, trial_id, epochs_done: int) -> bool:
+        if not self._is_rung(epochs_done):
+            return False
+        peers = self._peers_at(trial_id, epochs_done)
+        if not peers:
+            return False
+        own = self._best_by_epoch[trial_id][epochs_done - 1]
+        # rank among everyone who reached this rung; keep the best
+        # ceil(n / eta), stop the rest
+        n = len(peers) + 1
+        keep = max(1, -(-n // self.eta))
+        rank = 1 + sum(1 for p in peers if p < own)
+        return rank > keep

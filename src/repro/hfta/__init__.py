@@ -25,11 +25,15 @@ from .losses import (scale_fused_loss, FusedCrossEntropyLoss, FusedNLLLoss,
                      FusedMSELoss, FusedBCELoss)
 from .fusion import (load_from_unfused, export_to_unfused,
                      validate_fusibility, is_fusible, fusibility_error,
-                     structural_signature, fused_parameter_report)
+                     structural_signature, fused_parameter_report,
+                     fused_array_width, snapshot_array, restore_array,
+                     split_fused, merge_fused)
 
 __all__ = [
     "ops", "optim", "scale_fused_loss", "FusedCrossEntropyLoss",
     "FusedNLLLoss", "FusedMSELoss", "FusedBCELoss", "load_from_unfused",
     "export_to_unfused", "validate_fusibility", "is_fusible",
     "fusibility_error", "structural_signature", "fused_parameter_report",
+    "fused_array_width", "snapshot_array", "restore_array", "split_fused",
+    "merge_fused",
 ]

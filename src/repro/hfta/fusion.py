@@ -15,11 +15,29 @@ This module provides the glue between *unfused* models (one
 * :func:`validate_fusibility` checks the structural precondition that the
   paper's key observation relies on: the models must have the same operator
   types with the same shapes.
+
+The *elastic* array lifecycle (``runtime.engine.ArrayExecutor``) adds three
+re-fusion primitives operating on whole fused arrays mid-training:
+
+* :func:`split_fused` slices a fused array down to a subset of its slots
+  (live eviction of early-stopped jobs frees their fused width);
+* :func:`merge_fused` concatenates two structurally identical fused arrays
+  into one (defragmentation of under-filled stragglers, and admission of
+  freshly fused jobs into freed width);
+* :func:`snapshot_array` / :func:`restore_array` capture and roll back an
+  array's full state, so a failed split/merge cannot corrupt live training.
+
+All three follow the repo-wide layout conventions: fused parameters carry a
+leading array dimension ``[B, *s]``, fused buffers are block-folded
+``[B * c, ...]`` (see :func:`load_from_unfused`).  The per-slot *optimizer*
+state moves through the matching primitives in
+:mod:`repro.hfta.optim.elastic`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+import copy
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,7 +45,8 @@ from ..nn.modules.module import Module
 
 __all__ = ["load_from_unfused", "export_to_unfused", "validate_fusibility",
            "is_fusible", "fusibility_error", "structural_signature",
-           "fused_parameter_report"]
+           "fused_parameter_report", "fused_array_width", "snapshot_array",
+           "restore_array", "split_fused", "merge_fused"]
 
 
 def _fused_param_map(fused: Module) -> Dict[str, np.ndarray]:
@@ -78,7 +97,18 @@ def load_from_unfused(fused: Module, unfused_models: Sequence[Module]) -> Module
 
 
 def export_to_unfused(fused: Module, index: int, template: Module) -> Module:
-    """Extract fused model slot ``index`` into an unfused ``template`` model."""
+    """Extract fused model slot ``index`` into an unfused ``template`` model.
+
+    Copies *parameters and buffers*: an exported checkpoint must be usable
+    as-is (e.g. BatchNorm running stats for inference), and the elastic
+    runtime evicts jobs mid-training, so a buffer left behind would silently
+    diverge from what serial training of the same job would have produced.
+    Buffers are matched by the block-folded ``[B * c, ...]`` convention of
+    :func:`load_from_unfused`, with a fallback for leading-dim ``[B, ...]``
+    layouts and scalar per-model buffers; a fused buffer that cannot be
+    sliced per slot raises instead of being skipped.
+    """
+    num_models = fused_array_width(fused)
     fused_params = _fused_param_map(fused)
     fused_buffers = _fused_buffer_map(fused)
     for name, p in template.named_parameters():
@@ -92,9 +122,37 @@ def export_to_unfused(fused: Module, index: int, template: Module) -> Module:
         source = fused_buffers.get(name)
         if source is None:
             continue
-        block = buf.shape[0]
-        buf[...] = source[index * block:(index + 1) * block]
+        if source.shape == (num_models,) + buf.shape:
+            # leading-dim layout [B, *s] (scalar per-model buffers included)
+            buf[...] = source[index]
+        elif buf.ndim >= 1 and source.shape == \
+                (num_models * buf.shape[0],) + buf.shape[1:]:
+            block = buf.shape[0]
+            buf[...] = source[index * block:(index + 1) * block]
+        else:
+            raise ValueError(
+                f"buffer '{name}': fused shape {source.shape} is neither "
+                f"[B={num_models}] + {buf.shape} nor "
+                f"[B*{buf.shape[0] if buf.ndim else '?'}] block-folded; "
+                f"cannot export slot {index}")
     return template
+
+
+def fused_array_width(fused: Module) -> int:
+    """The array width ``B`` of a fused model.
+
+    Taken from the first submodule exposing ``num_models`` (every class in
+    :mod:`repro.hfta.ops` does), falling back to the leading dimension of
+    the first parameter.
+    """
+    for module in fused.modules():
+        width = getattr(module, "num_models", None)
+        if isinstance(width, int) and width >= 1:
+            return width
+    for _, p in fused.named_parameters():
+        return p.shape[0]
+    raise ValueError("cannot infer array width: model has neither a "
+                     "'num_models' attribute nor parameters")
 
 
 def structural_signature(model: Module) -> Tuple[Tuple, Tuple]:
@@ -153,6 +211,156 @@ def validate_fusibility(models: Sequence[Module]) -> bool:
     if error is not None:
         raise ValueError(error)
     return True
+
+
+# --------------------------------------------------------------------- #
+# elastic re-fusion primitives
+# --------------------------------------------------------------------- #
+def _retag_num_models(model: Module, old_width: int, new_width: int) -> None:
+    """Rewrite every ``num_models`` attribute from ``old_width`` to
+    ``new_width`` — on fused modules themselves and on any
+    :class:`~repro.hfta.ops.factory.OpsLibrary` they hold (models built
+    through the factory route their layout helpers through it)."""
+    from .ops.factory import OpsLibrary  # deferred: ops imports follow fusion
+    for module in model.modules():
+        if getattr(module, "num_models", None) == old_width:
+            module.num_models = new_width
+        for value in module.__dict__.values():
+            if isinstance(value, OpsLibrary) and value.num_models == old_width:
+                value.num_models = new_width
+
+
+def _resize_buffers(model: Module, take) -> None:
+    """Replace every per-model buffer with ``take(buffer, block_size)``.
+
+    Buffers follow the block-folded ``[B * c, ...]`` convention; buffers
+    whose leading dimension is not a multiple of the array width are treated
+    as slot-independent and left untouched.
+    """
+    for module in model.modules():
+        width = getattr(module, "num_models", None)
+        for name, buf in list(module._buffers.items()):
+            if buf is None or not isinstance(width, int) or width < 1:
+                continue
+            if buf.ndim >= 1 and buf.shape[0] % width == 0:
+                module.register_buffer(
+                    name, take(buf, buf.shape[0] // width, width))
+
+
+def split_fused(fused: Module, keep_indices: Sequence[int]) -> Module:
+    """A new fused array holding only slots ``keep_indices`` of ``fused``.
+
+    Parameters ``[B, *s]`` are sliced along the array dimension, buffers
+    ``[B * c, ...]`` blockwise; the input array is left untouched (slot
+    eviction exports the evicted checkpoints first, then replaces the live
+    array with the split).  Per-slot optimizer state moves through
+    :func:`repro.hfta.optim.elastic.split_optimizer`.
+    """
+    width = fused_array_width(fused)
+    keep: List[int] = list(keep_indices)
+    if not keep:
+        raise ValueError("split_fused needs at least one slot to keep")
+    if any(not 0 <= i < width for i in keep):
+        raise ValueError(f"keep_indices {keep} out of range for array "
+                         f"width {width}")
+    if len(set(keep)) != len(keep):
+        raise ValueError(f"keep_indices {keep} contains duplicates")
+
+    out = copy.deepcopy(fused)
+    for name, p in out.named_parameters():
+        if p.shape[0] != width:
+            raise ValueError(
+                f"parameter '{name}' has leading dim {p.shape[0]}, expected "
+                f"array width {width}; is this a fused model?")
+        p.data = np.ascontiguousarray(p.data[keep])
+        p.grad = None
+
+    def take(buf, block, _width):
+        return np.concatenate(
+            [buf[i * block:(i + 1) * block] for i in keep])
+
+    _resize_buffers(out, take)
+    _retag_num_models(out, width, len(keep))
+    return out
+
+
+def merge_fused(a: Module, b: Module) -> Module:
+    """Concatenate two structurally identical fused arrays into one.
+
+    Slot order is ``a``'s slots followed by ``b``'s.  The inputs are left
+    untouched.  Raises ``ValueError`` when the arrays are not re-fusible
+    (mismatched parameter names or per-slot shapes — the same condition
+    :func:`validate_fusibility` enforces for unfused models).  Per-slot
+    optimizer state moves through
+    :func:`repro.hfta.optim.elastic.merge_optimizers`.
+    """
+    width_a, width_b = fused_array_width(a), fused_array_width(b)
+    params_a = list(a.named_parameters())
+    params_b = dict(b.named_parameters())
+    if len(params_a) != len(params_b):
+        raise ValueError(
+            f"cannot merge: arrays have {len(params_a)} vs {len(params_b)} "
+            f"parameters")
+
+    out = copy.deepcopy(a)
+    out_params = dict(out.named_parameters())
+    for name, p_a in params_a:
+        p_b = params_b.get(name)
+        if p_b is None:
+            raise ValueError(f"cannot merge: second array has no parameter "
+                             f"named '{name}'")
+        if p_a.shape[1:] != p_b.shape[1:]:
+            raise ValueError(
+                f"cannot merge: parameter '{name}' has per-slot shape "
+                f"{p_a.shape[1:]} vs {p_b.shape[1:]}")
+        target = out_params[name]
+        target.data = np.concatenate([p_a.data, p_b.data])
+        target.grad = None
+
+    buffers_b = dict(b.named_buffers())
+
+    # named buffer lookup needs the prefix; walk modules of `out` in lockstep
+    # with their qualified names so register_buffer hits the right module
+    for (mod_name, module) in out.named_modules():
+        width = getattr(module, "num_models", None)
+        if not isinstance(width, int) or width < 1:
+            continue
+        prefix = mod_name + "." if mod_name else ""
+        for name, buf in list(module._buffers.items()):
+            if buf is None:
+                continue
+            other = buffers_b.get(prefix + name)
+            if buf.ndim < 1 or buf.shape[0] % width_a != 0:
+                continue
+            block = buf.shape[0] // width_a
+            if other is None or other.shape != \
+                    (width_b * block,) + buf.shape[1:]:
+                raise ValueError(
+                    f"cannot merge: buffer '{prefix + name}' has shape "
+                    f"{None if other is None else other.shape} in the second "
+                    f"array, expected {(width_b * block,) + buf.shape[1:]}")
+            module.register_buffer(name, np.concatenate([buf, other]))
+
+    _retag_num_models(out, width_a, width_a + width_b)
+    return out
+
+
+def snapshot_array(fused: Module) -> Dict[str, np.ndarray]:
+    """Deep copy of a fused array's parameters and buffers.
+
+    The executor snapshots an array before a split/merge transition so a
+    failure mid-surgery can roll the live array back with
+    :func:`restore_array` instead of corrupting healthy cohort-mates.
+    Optimizer state snapshots live in
+    :func:`repro.hfta.optim.elastic.snapshot_optimizer`.
+    """
+    return fused.state_dict()
+
+
+def restore_array(fused: Module, snapshot: Dict[str, np.ndarray]) -> Module:
+    """Restore a fused array to a :func:`snapshot_array` capture in place."""
+    fused.load_state_dict(snapshot)
+    return fused
 
 
 def fused_parameter_report(fused: Module) -> Dict[str, int]:

@@ -13,7 +13,11 @@ from .sgd import SGD
 from .lr_scheduler import (FusedLRScheduler, StepLR, ExponentialLR,
                            CosineAnnealingLR)
 from .utils import coerce_hyperparam, broadcastable
+from .elastic import (split_optimizer, merge_optimizers, snapshot_optimizer,
+                      restore_optimizer)
 
 __all__ = ["FusedOptimizer", "Adam", "AdamW", "Adadelta", "SGD",
            "FusedLRScheduler", "StepLR", "ExponentialLR", "CosineAnnealingLR",
-           "coerce_hyperparam", "broadcastable"]
+           "coerce_hyperparam", "broadcastable",
+           "split_optimizer", "merge_optimizers", "snapshot_optimizer",
+           "restore_optimizer"]

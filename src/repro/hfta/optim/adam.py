@@ -14,6 +14,7 @@ import numpy as np
 
 from ...nn.tensor import Tensor
 from .optimizer import FusedOptimizer
+from .utils import broadcastable
 
 __all__ = ["Adam", "AdamW"]
 
@@ -54,12 +55,20 @@ class Adam(FusedOptimizer):
                 if not self.decoupled_weight_decay:
                     grad = grad + wd * p.data
                 st = self._get_state(p)
+                fused_group = group["model_index"] is None
                 if not st:
-                    st["step"] = 0
+                    # The step counter is *per model* for fused groups: the
+                    # elastic runtime merges arrays whose slots sit at
+                    # different training progress (live re-fusion), and
+                    # Adam's bias correction must keep using each slot's own
+                    # step count to stay serial-equivalent.
+                    st["step"] = (np.zeros(self.num_models) if fused_group
+                                  else 0)
                     st["exp_avg"] = np.zeros_like(p.data)
                     st["exp_avg_sq"] = np.zeros_like(p.data)
-                st["step"] += 1
-                t = st["step"]
+                st["step"] = st["step"] + 1
+                t = (broadcastable(st["step"], p.shape) if fused_group
+                     else st["step"])
                 st["exp_avg"] = beta1 * st["exp_avg"] + (1 - beta1) * grad
                 st["exp_avg_sq"] = (beta2 * st["exp_avg_sq"]
                                     + (1 - beta2) * grad * grad)

@@ -1,0 +1,253 @@
+"""Elastic re-fusion of fused-optimizer state: split, merge, snapshot.
+
+The counterparts of :func:`repro.hfta.fusion.split_fused` /
+:func:`~repro.hfta.fusion.merge_fused` for the *optimizer* half of an
+array's training state.  A fused optimizer keeps, per parameter, state
+arrays shaped like the parameter (leading array dimension ``B`` — Adam's
+moments, SGD's momentum buffer, Adadelta's accumulators) plus per-model
+step counters and per-model hyper-parameter vectors in its groups.  All of
+them are sliced / concatenated along the array dimension here, so an
+evicted slot takes exactly its own optimizer state with it and a merged
+straggler keeps training as if nothing happened.
+
+Mapping convention: ``new_params`` must be the new fused model's parameters
+in the same flat order as the old optimizer's parameters across its groups
+(both sides are produced by ``Module.parameters()`` of structurally
+identical fused models, so the order matches by construction).
+
+Partial fusion (``model_index`` groups, paper Appendix H.4) is out of scope
+for elastic ops: those parameters belong to a single slot by definition, so
+splitting/merging them along ``B`` is meaningless — the primitives raise.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ...nn.tensor import Tensor
+from .optimizer import FusedOptimizer
+from .utils import coerce_hyperparam
+
+__all__ = ["split_optimizer", "merge_optimizers", "snapshot_optimizer",
+           "restore_optimizer"]
+
+
+def _check_fully_fused(optimizer: FusedOptimizer, op: str) -> None:
+    if any(g.get("model_index") is not None for g in optimizer.param_groups):
+        raise ValueError(
+            f"{op} supports fully fused optimizers only; this one has "
+            f"unfused (partial-fusion) parameter groups")
+
+
+def _flat_params(optimizer: FusedOptimizer) -> List[Tensor]:
+    return [p for g in optimizer.param_groups for p in g["params"]]
+
+
+def _is_per_model(value, num_models: int) -> bool:
+    return (isinstance(value, np.ndarray) and value.ndim >= 1
+            and value.shape[0] == num_models)
+
+
+def split_optimizer(optimizer: FusedOptimizer, new_params: Sequence[Tensor],
+                    keep_indices: Sequence[int]) -> FusedOptimizer:
+    """A new optimizer of the same class managing only ``keep_indices``.
+
+    ``new_params`` are the parameters of the already-split fused model
+    (:func:`repro.hfta.fusion.split_fused`), in the old flat order.  Every
+    per-model state array and hyper-parameter vector is sliced to the kept
+    slots; the input optimizer is left untouched.
+    """
+    _check_fully_fused(optimizer, "split_optimizer")
+    keep = list(keep_indices)
+    old_width = optimizer.num_models
+    if any(not 0 <= i < old_width for i in keep):
+        raise ValueError(f"keep_indices {keep} out of range for "
+                         f"num_models={old_width}")
+    new_params = list(new_params)
+    old_params = _flat_params(optimizer)
+    if len(new_params) != len(old_params):
+        raise ValueError(
+            f"parameter count mismatch: optimizer manages "
+            f"{len(old_params)}, split model has {len(new_params)}")
+
+    new_opt = object.__new__(type(optimizer))
+    new_opt.num_models = len(keep)
+    # defaults hold raw constructor values (scalar or length-B sequence);
+    # normalize the per-model ones so the slice is well-defined
+    new_opt.defaults = {
+        k: (coerce_hyperparam(v, old_width, k)[keep].copy()
+            if k in optimizer._vector_hyperparams else v)
+        for k, v in optimizer.defaults.items()}
+    new_opt.param_groups = []
+    new_opt.state = {}
+
+    taken = iter(new_params)
+    for group in optimizer.param_groups:
+        new_group = {}
+        for key, value in group.items():
+            if key == "params":
+                continue
+            new_group[key] = (value[keep].copy()
+                             if _is_per_model(value, old_width) else value)
+        new_group["params"] = [next(taken) for _ in group["params"]]
+        for p_old, p_new in zip(group["params"], new_group["params"]):
+            if p_new.shape != (len(keep),) + p_old.shape[1:]:
+                raise ValueError(
+                    f"split parameter shape {p_new.shape} does not match "
+                    f"[{len(keep)}] + {p_old.shape[1:]}")
+            st = optimizer.state.get(id(p_old))
+            if st:
+                new_opt.state[id(p_new)] = {
+                    k: (v[keep].copy() if _is_per_model(v, old_width)
+                        else copy.deepcopy(v))
+                    for k, v in st.items()}
+        new_opt.param_groups.append(new_group)
+    return new_opt
+
+
+def merge_optimizers(a: FusedOptimizer, b: FusedOptimizer,
+                     merged_params: Sequence[Tensor]) -> FusedOptimizer:
+    """One optimizer over a merged array: ``a``'s slots then ``b``'s.
+
+    ``merged_params`` are the parameters of the merged fused model
+    (:func:`repro.hfta.fusion.merge_fused`), flat order again.  Vector
+    hyper-parameters and per-model state arrays are concatenated.  A state
+    entry present on only one side is materialized as zeros for the other —
+    zeros are exactly the lazy initialization every fused optimizer uses,
+    so a freshly admitted slot trains identically to a slot whose state was
+    never touched.  Scalar state must agree on both sides (per-model step
+    counters make the one historic scalar, Adam's ``step``, a vector).
+    """
+    if type(a) is not type(b):
+        raise ValueError(f"cannot merge optimizers of different classes: "
+                         f"{type(a).__name__} vs {type(b).__name__}")
+    _check_fully_fused(a, "merge_optimizers")
+    _check_fully_fused(b, "merge_optimizers")
+    if len(a.param_groups) != len(b.param_groups):
+        raise ValueError("cannot merge: different parameter group counts")
+    merged_params = list(merged_params)
+    if len(merged_params) != len(_flat_params(a)):
+        raise ValueError("merged parameter count does not match")
+
+    width_a, width_b = a.num_models, b.num_models
+    merged = object.__new__(type(a))
+    merged.num_models = width_a + width_b
+
+    def join(name, va, vb):
+        per_a, per_b = _is_per_model(va, width_a), _is_per_model(vb, width_b)
+        if per_a and per_b:
+            return np.concatenate([va, vb])
+        if per_a or per_b:
+            raise ValueError(f"cannot merge '{name}': per-model on one side "
+                             f"only ({np.shape(va)} vs {np.shape(vb)})")
+        if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
+            if not np.array_equal(va, vb):
+                raise ValueError(f"cannot merge '{name}': shared array "
+                                 f"state differs between the two arrays")
+            return copy.deepcopy(va)
+        if va != vb:
+            raise ValueError(f"cannot merge '{name}': scalar state differs "
+                             f"({va!r} vs {vb!r})")
+        return va
+
+    # defaults hold the raw constructor values (scalars or sequences); for
+    # hyper-parameters the optimizer treats as per-model vectors, coerce
+    # both sides and concatenate so a later add_param_group sees the
+    # merged-width vector
+    merged.defaults = {}
+    for key in a.defaults:
+        if key not in b.defaults:
+            raise ValueError(f"cannot merge: '{key}' missing from second "
+                             f"optimizer's defaults")
+        va, vb = a.defaults[key], b.defaults[key]
+        if key in a._vector_hyperparams:
+            merged.defaults[key] = np.concatenate([
+                coerce_hyperparam(va, width_a, key),
+                coerce_hyperparam(vb, width_b, key)])
+        else:
+            merged.defaults[key] = join(key, va, vb)
+
+    merged.param_groups = []
+    merged.state = {}
+    taken = iter(merged_params)
+    for group_a, group_b in zip(a.param_groups, b.param_groups):
+        if len(group_a["params"]) != len(group_b["params"]):
+            raise ValueError("cannot merge: parameter groups differ in size")
+        new_group = {}
+        for key, va in group_a.items():
+            if key == "params":
+                continue
+            if key not in group_b:
+                raise ValueError(f"cannot merge: group key '{key}' missing "
+                                 f"from second optimizer")
+            new_group[key] = join(key, va, group_b[key])
+        new_group["params"] = [next(taken) for _ in group_a["params"]]
+        merged.param_groups.append(new_group)
+
+        for p_a, p_b, p_m in zip(group_a["params"], group_b["params"],
+                                 new_group["params"]):
+            if p_m.shape != (merged.num_models,) + p_a.shape[1:]:
+                raise ValueError(
+                    f"merged parameter shape {p_m.shape} does not match "
+                    f"[{merged.num_models}] + {p_a.shape[1:]}")
+            st_a = a.state.get(id(p_a)) or {}
+            st_b = b.state.get(id(p_b)) or {}
+            if not st_a and not st_b:
+                continue
+            new_st = {}
+            for key in dict(st_a, **st_b):
+                va, vb = st_a.get(key), st_b.get(key)
+                if va is None:
+                    va = _zeros_like_state(vb, width_b, width_a)
+                if vb is None:
+                    vb = _zeros_like_state(va, width_a, width_b)
+                new_st[key] = join(key, va, vb)
+            merged.state[id(p_m)] = new_st
+    return merged
+
+
+def _zeros_like_state(present, present_width: int, missing_width: int):
+    """Zero-state for the side that never stepped (== lazy initialization)."""
+    if _is_per_model(present, present_width):
+        return np.zeros((missing_width,) + present.shape[1:],
+                        dtype=present.dtype)
+    raise ValueError(
+        "cannot merge: one array has scalar optimizer state the other "
+        "lacks; scalar state cannot be synthesized per slot")
+
+
+def snapshot_optimizer(optimizer: FusedOptimizer) -> Dict:
+    """Deep copy of an optimizer's per-slot state and group vectors.
+
+    Keys reference parameter *positions* (flat order), not ids, so the
+    snapshot stays valid for :func:`restore_optimizer` after the parameter
+    objects' data arrays were modified in place.
+    """
+    params = _flat_params(optimizer)
+    index_of = {id(p): i for i, p in enumerate(params)}
+    return {
+        "num_models": optimizer.num_models,
+        "state": {index_of[pid]: copy.deepcopy(st)
+                  for pid, st in optimizer.state.items()
+                  if pid in index_of},
+        "groups": [
+            {k: copy.deepcopy(v) for k, v in g.items() if k != "params"}
+            for g in optimizer.param_groups],
+    }
+
+
+def restore_optimizer(optimizer: FusedOptimizer, snapshot: Dict) -> None:
+    """Restore a :func:`snapshot_optimizer` capture in place."""
+    if snapshot["num_models"] != optimizer.num_models:
+        raise ValueError(
+            f"snapshot was taken at num_models={snapshot['num_models']}, "
+            f"optimizer now has {optimizer.num_models}")
+    params = _flat_params(optimizer)
+    optimizer.state = {id(params[i]): copy.deepcopy(st)
+                       for i, st in snapshot["state"].items()}
+    for group, saved in zip(optimizer.param_groups, snapshot["groups"]):
+        for key, value in saved.items():
+            group[key] = copy.deepcopy(value)

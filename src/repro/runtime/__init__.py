@@ -15,15 +15,21 @@ of a shared accelerator:
 * :mod:`repro.runtime.policy`  — sizes each array against a width cap and
   the :mod:`repro.hwsim` memory model, splitting oversized cohorts with
   HFHT's partial-fusion logic (:func:`repro.hfht.split_oversized`);
-* :mod:`repro.runtime.engine`  — trains each array (``load_from_unfused``
-  -> fused steps -> ``export_to_unfused``) and hands every job its
+* :mod:`repro.runtime.engine`  — steps each array through the *elastic*
+  lifecycle (``ArrayExecutor``: PENDING -> FUSED -> STEPPING ->
+  {EVICTING, MERGING} -> DRAINED): per-slot progress and stop signals,
+  live eviction of finished jobs via :func:`repro.hfta.split_fused`,
+  admission of queued jobs into freed width via
+  :func:`repro.hfta.merge_fused` — and hands every job its
   serial-equivalent checkpoint; doubles as the fleet's per-device worker;
 * :mod:`repro.runtime.placement` — hardware-aware placement: ranks the
   fleet's devices per array with the :mod:`repro.hwsim` cost model
   (:func:`repro.hwsim.estimate_array_cost`), partial-fusion fallback when
   a cohort exceeds the chosen device's memory cap;
 * :mod:`repro.runtime.fleet`   — the multi-device scheduler: per-device
-  worker threads over a shared queue, work stealing for idle devices,
+  worker threads over a shared queue, work stealing for idle devices (on
+  whole plans *and* on freed width — paused straggler executors),
+  defragmentation of under-filled arrays with cost-model re-placement,
   quarantine-and-retry failure isolation;
 * :mod:`repro.runtime.metrics` — throughput/occupancy counters in the
   conventions of ``benchmarks/test_fig*_counters.py``, plus per-device
@@ -58,17 +64,20 @@ end-to-end serving sessions.
 from .queue import JobState, TrainingJob, SubmittedJob, JobQueue
 from .batcher import Batcher, Cohort, DEFAULT_INFUSIBLE_KEYS
 from .policy import ArrayPlan, ArrayPolicy
-from .engine import JobResult, TrainingArrayEngine
+from .engine import (ArrayExecutor, ArrayState, JobResult, StopReason,
+                     TrainingArrayEngine)
 from .metrics import ArrayRecord, RuntimeMetrics
-from .placement import DEFAULT_FLEET, FleetPlacer, PlacementDecision
+from .placement import (DEFAULT_FLEET, DefragPolicy, FleetPlacer,
+                        PlacementDecision)
 from .fleet import DeviceWorker, FleetScheduler
 
 __all__ = [
     "JobState", "TrainingJob", "SubmittedJob", "JobQueue",
     "Batcher", "Cohort", "DEFAULT_INFUSIBLE_KEYS",
     "ArrayPlan", "ArrayPolicy",
-    "JobResult", "TrainingArrayEngine",
+    "ArrayExecutor", "ArrayState", "JobResult", "StopReason",
+    "TrainingArrayEngine",
     "ArrayRecord", "RuntimeMetrics",
-    "DEFAULT_FLEET", "FleetPlacer", "PlacementDecision",
+    "DEFAULT_FLEET", "DefragPolicy", "FleetPlacer", "PlacementDecision",
     "DeviceWorker", "FleetScheduler",
 ]

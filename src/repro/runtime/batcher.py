@@ -99,6 +99,31 @@ class Batcher:
         generator = np.random.default_rng(sub.job.seed)
         return sub.job.build_model(None, generator)
 
+    def admission_profile(self, sub: SubmittedJob) -> Tuple:
+        """The cheap (template-free) part of a job's fusibility key.
+
+        The elastic executor admits pending jobs into freed array width
+        mid-training; candidates are pre-filtered on this profile and
+        confirmed with a structural-signature check on the built template.
+        Step budgets are deliberately *absent*: per-slot progress tracking
+        lets an admitted job train a different budget than its array-mates.
+
+        The result is memoized on the submission (the admission predicate
+        evaluates it for every pending job, at every epoch boundary, under
+        the queue lock — a job's profile never changes, so pay for the
+        name-signature regex and infusible-value extraction once).
+        """
+        if sub.profile_cache is None:
+            job = sub.job
+            sub.profile_cache = (workload_signature(job.name),
+                                 self.infusible_values(sub),
+                                 job.loss,
+                                 job.workload,
+                                 str(job.config.get("optimizer",
+                                                    "adam")).lower(),
+                                 job.epoch_steps)
+        return sub.profile_cache
+
     # ------------------------------------------------------------------ #
     def form_cohorts(self, batch: Sequence[SubmittedJob]
                      ) -> Tuple[List[Cohort], List[Tuple[SubmittedJob, str]]]:
@@ -122,6 +147,7 @@ class Batcher:
                 workload_signature(job.name),     # level 1: cheap name bucket
                 infusible,                        # shared infusible values
                 job.steps,                        # gang-scheduled budget
+                job.epoch_steps,                  # gang-scheduled epoch cadence
                 job.loss,
                 job.workload,                     # one cost model per array
                 structural_signature(template),   # level 2: exact structure

@@ -7,45 +7,63 @@ data path::
       -> batcher.form_cohorts()              (batcher.py)   which jobs fuse?
       -> policy.plan()                       (policy.py)    how wide?
       -> train_plan() per plan               (this module)
-           load_from_unfused(templates)      (hfta.fusion)
-           fused forward/backward/step  x steps
-           export_to_unfused -> JobResult    (hfta.fusion)
+           ArrayExecutor: PENDING -> FUSED -> STEPPING
+             step_epoch() x epochs           per-slot progress + stop signals
+             evict finished slots            (hfta.fusion.split_fused)
+             admit queued jobs into freed width  (hfta.fusion.merge_fused)
+           -> DRAINED, JobResult per job     (hfta.fusion.export_to_unfused)
       -> metrics.record_array()              (metrics.py)
 
-The engine also serves as the *per-device worker* of the multi-device fleet
-(:mod:`repro.runtime.fleet`): the fleet scheduler replaces the
-batcher/policy stages with cost-model placement (:mod:`repro.runtime.
-placement`) and calls :meth:`TrainingArrayEngine.train_plan` directly, one
-engine per simulated device, all sharing one queue and one metrics object.
+The monolithic run-to-completion loop of the earlier runtime became the
+:class:`ArrayExecutor` *state machine*: an array is trained epoch by epoch,
+and at every epoch boundary each slot's stop signals are checked —
+convergence (``TrainingJob.target_loss``), early-stopping callbacks
+(``TrainingJob.stop``, where HFHT's tuning decisions plug in) and caller
+cancellation (:meth:`~repro.runtime.queue.JobQueue.cancel`).  A finished
+slot is *evicted*: its checkpoint is exported as of its own last step, the
+fused parameters/buffers/optimizer-state are narrowed with the re-fusion
+primitives, and the freed width goes back to the scheduler — which may
+admit compatible queued jobs straight into the running array, or (at fleet
+scale, :mod:`repro.runtime.fleet`) merge under-filled stragglers from other
+devices.
 
-Because every HFTA transformation is mathematically equivalent and arrays
-are gang-scheduled (equal step budgets, each job on its own data stream),
-the checkpoint a job gets back is the one serial training would have
-produced — the runtime changes *when and with whom* a job trains, never
-*what* it learns.
+The engine also serves as the *per-device worker* of the multi-device
+fleet: the fleet scheduler replaces the batcher/policy stages with
+cost-model placement (:mod:`repro.runtime.placement`) and drives executors
+through :meth:`TrainingArrayEngine.run_executor`, one engine per simulated
+device, all sharing one queue and one metrics object.
+
+Because every HFTA transformation is mathematically equivalent and slots
+track their own progress (each job on its own data stream, per-model
+optimizer state including Adam's per-slot step counters), the checkpoint a
+job gets back is the one serial training would have produced for the same
+number of steps — the runtime changes *when and with whom* a job trains,
+never *what* it learns.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from .. import nn
 from ..hfta import losses as fused_losses
 from ..hfta import optim as fused_optim
-from ..hfta.fusion import export_to_unfused, load_from_unfused, \
-    validate_fusibility
+from ..hfta.fusion import export_to_unfused, load_from_unfused, merge_fused, \
+    split_fused, structural_signature, validate_fusibility
+from ..hfta.optim.elastic import merge_optimizers, split_optimizer
 from ..nn.modules.module import Module
 from .batcher import Batcher
 from .metrics import ArrayRecord, RuntimeMetrics
 from .policy import ArrayPlan, ArrayPolicy
-from .queue import JobQueue, TrainingJob
+from .queue import JobQueue, JobState, SubmittedJob, TrainingJob
 
-__all__ = ["JobResult", "TrainingArrayEngine"]
+__all__ = ["JobResult", "StopReason", "ArrayState", "ArrayExecutor",
+           "TrainingArrayEngine"]
 
 _CRITERIA = {
     "cross_entropy": fused_losses.FusedCrossEntropyLoss,
@@ -74,6 +92,54 @@ _OPTIMIZERS = {
 }
 
 
+def make_fused_optimizer(fused: Module, configs: Sequence[Dict],
+                         num_models: int):
+    """Build the fused optimizer with per-model hyper-parameter vectors."""
+    name = str(configs[0].get("optimizer", "adam")).lower()
+    if name not in _OPTIMIZERS:
+        raise ValueError(f"unknown optimizer '{name}'; choose from "
+                         f"{sorted(_OPTIMIZERS)}")
+    cls, vector_keys = _OPTIMIZERS[name]
+    kwargs = {}
+    for key, (kw, default) in vector_keys.items():
+        if any(key in c for c in configs):
+            kwargs[kw] = [c.get(key, default) for c in configs]
+    if name in ("adam", "adamw") and any(
+            "adam_beta1" in c or "adam_beta2" in c for c in configs):
+        kwargs["betas"] = ([c.get("adam_beta1", 0.9) for c in configs],
+                          [c.get("adam_beta2", 0.999) for c in configs])
+    return cls(fused.parameters(), num_models=num_models, **kwargs)
+
+
+class StopReason:
+    """Why a slot left its array."""
+
+    BUDGET = "budget"          # trained its full step budget
+    CONVERGED = "converged"    # hit TrainingJob.target_loss
+    EARLY_STOP = "early_stop"  # TrainingJob.stop callback said so
+    CANCELLED = "cancelled"    # caller cancelled via JobQueue.cancel
+
+
+class ArrayState:
+    """Lifecycle states of a fused training array (see docs/architecture.md,
+    "Array lifecycle")::
+
+        PENDING -> FUSED -> STEPPING -> {EVICTING, MERGING} -> DRAINED
+
+    EVICTING and MERGING are transient: the executor returns to STEPPING
+    (or reaches DRAINED) within the same epoch boundary.
+    """
+
+    PENDING = "pending"      # created, fused model not built yet
+    FUSED = "fused"          # weights loaded, optimizer ready
+    STEPPING = "stepping"    # training epoch by epoch
+    EVICTING = "evicting"    # exporting finished slots, narrowing the array
+    MERGING = "merging"      # widening: admission or straggler defrag
+    DRAINED = "drained"      # no live slots remain
+
+    ALL = (PENDING, FUSED, STEPPING, EVICTING, MERGING, DRAINED)
+
+
 @dataclass
 class JobResult:
     """What a finished job gets back from the runtime."""
@@ -84,7 +150,386 @@ class JobResult:
     loss_curve: List[float]     # the job's own per-step training loss
     array_id: int               # which fused array trained it
     slot: int                   # its slot within that array
-    array_width: int            # how many jobs shared the array
+    array_width: int            # how many jobs shared the array at the end
+    steps_trained: int = 0      # steps actually executed (== budget unless
+                                # a stop signal retired the job earlier)
+    stop_reason: str = StopReason.BUDGET
+    evicted: bool = False       # left before its array drained
+
+
+@dataclass
+class _Slot:
+    """One live job inside an executor."""
+
+    sub: SubmittedJob
+    template: Module            # checkpoint container (structure matches)
+    progress: int = 0           # steps completed so far
+    curve: List[float] = field(default_factory=list)
+    #: static (non-elastic) mode: a stop signal fired but the slot keeps
+    #: training to its budget — it no longer counts as *occupied* width
+    useful: bool = True
+
+    @property
+    def job(self) -> TrainingJob:
+        return self.sub.job
+
+    @property
+    def remaining(self) -> int:
+        return self.job.steps - self.progress
+
+
+class ArrayExecutor:
+    """Steps one fused array through its elastic lifecycle.
+
+    The executor owns the array's full training state — fused model,
+    fused optimizer, per-slot progress/loss-curves — and exposes it epoch
+    by epoch, so the scheduler above can interleave stop-signal checks,
+    evictions, admissions and defragmentation with training instead of
+    waiting for a monolithic ``train_plan`` to return.
+
+    It is driven by :meth:`TrainingArrayEngine.run_executor`; the fleet
+    additionally pauses executors (straggler pool), moves them between
+    devices and merges them (:meth:`merge_with`).
+    """
+
+    def __init__(self, engine: "TrainingArrayEngine", plan: ArrayPlan,
+                 array_id: int):
+        self.engine = engine
+        self.plan = plan
+        self.array_id = array_id
+        self.state = ArrayState.PENDING
+        self.elastic = engine.elastic
+        self.device_name = plan.device or engine.device_name
+        self.width_cap = plan.width_cap
+        self.epoch_steps = plan.jobs[0].job.epoch_steps
+        self.loss_key = plan.jobs[0].job.loss
+        self.workload = plan.workload
+        self.signature = plan.cohort.signature
+        #: solo (quarantine-retry) arrays must keep training alone
+        self.solo = any(sub.solo for sub in plan.jobs)
+        #: cheap fusibility profile + exact structure, for freed-width
+        #: admission and fleet defragmentation compatibility
+        self.admission_profile = engine.batcher.admission_profile(
+            plan.jobs[0])
+        self.structural_sig = structural_signature(plan.templates[0])
+        self.admission_rejects: Set[int] = set()
+
+        self.slots: List[_Slot] = [
+            _Slot(sub=sub, template=template)
+            for sub, template in zip(plan.jobs, plan.templates)]
+        self.launch_width = len(self.slots)
+
+        self.fused: Optional[Module] = None
+        self.optimizer = None
+        self.criterion = None
+        #: set by the fleet while this executor sits in the straggler pool
+        self.paused = False
+        # a detached executor may be resumed by another worker thread while
+        # the detaching thread still collects its results — guard delivery
+        self._results_lock = threading.Lock()
+
+        # lifetime accounting (carried across merges)
+        self.epochs = 0
+        self.samples = 0
+        self.seconds = 0.0
+        self.max_progress = 0
+        self.slot_steps_total = 0
+        self.slot_steps_occupied = 0
+        self.evictions = 0
+        self.admissions = 0
+        self.merges = 0
+        self.jobs_served = 0
+        self._results: List[JobResult] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def done(self) -> bool:
+        return self.state == ArrayState.DRAINED
+
+    @property
+    def live_width(self) -> int:
+        return len(self.slots)
+
+    @property
+    def freed_width(self) -> int:
+        """Width available for admission (never on solo/quarantine arrays)."""
+        if self.solo or not self.elastic:
+            return 0
+        return max(0, self.width_cap - self.live_width)
+
+    @property
+    def remaining_steps(self) -> int:
+        """The longest live slot's remaining budget (re-placement input)."""
+        return max((slot.remaining for slot in self.slots), default=0)
+
+    @property
+    def compat_key(self) -> Tuple:
+        """Arrays with equal keys can be merged mid-training."""
+        return (self.admission_profile, self.structural_sig, self.loss_key)
+
+    def take_results(self) -> List[JobResult]:
+        """Results produced since the last call (delivered exactly once)."""
+        with self._results_lock:
+            out, self._results = self._results, []
+            return out
+
+    def _deliver(self, results: Sequence[JobResult]) -> None:
+        with self._results_lock:
+            self._results.extend(results)
+
+    # ------------------------------------------------------------------ #
+    # PENDING -> FUSED
+    # ------------------------------------------------------------------ #
+    def prepare(self) -> None:
+        """Build the fused model/optimizer and load every slot's weights."""
+        jobs = [slot.sub for slot in self.slots]
+        templates = [slot.template for slot in self.slots]
+        for sub in jobs:
+            self.engine.queue.mark_running(sub)
+
+        validate_fusibility(templates)
+        fused = jobs[0].job.build_model(self.live_width, None)
+        if not hasattr(fused, "fuse_inputs"):
+            raise TypeError(
+                f"fused model {type(fused).__name__} has no 'fuse_inputs'; "
+                f"build models through repro.hfta.ops.factory.OpsLibrary "
+                f"(see repro.models for examples)")
+        load_from_unfused(fused, templates)
+        self.fused = fused
+        self.optimizer = make_fused_optimizer(
+            fused, [slot.job.config for slot in self.slots], self.live_width)
+        self.criterion = self._make_criterion(self.live_width)
+        self.state = ArrayState.FUSED
+
+    def _make_criterion(self, num_models: int):
+        if self.loss_key not in _CRITERIA:
+            raise ValueError(f"unknown loss '{self.loss_key}'; choose from "
+                             f"{sorted(_CRITERIA)}")
+        return _CRITERIA[self.loss_key](num_models)
+
+    # ------------------------------------------------------------------ #
+    # STEPPING
+    # ------------------------------------------------------------------ #
+    def step_epoch(self) -> List[JobResult]:
+        """Train one epoch, then evict every slot whose stop signal fired.
+
+        Returns the results of the jobs retired at this epoch boundary.
+        An epoch is ``epoch_steps`` gang-scheduled steps, shortened when a
+        slot's budget boundary falls inside it (merged arrays may carry
+        heterogeneous remaining budgets) — no slot ever oversteps.
+        """
+        if self.state == ArrayState.PENDING:
+            self.prepare()
+        if not self.slots:
+            self.state = ArrayState.DRAINED
+            return []
+        self.state = ArrayState.STEPPING
+
+        num_models = self.live_width
+        steps = min(self.epoch_steps,
+                    min(slot.remaining for slot in self.slots))
+        start = time.perf_counter()
+        for i in range(steps):
+            batches = [slot.job.data(slot.progress + i)
+                       for slot in self.slots]
+            inputs = [nn.tensor(np.asarray(x, dtype=np.float32))
+                      for x, _ in batches]
+            targets = np.stack([y for _, y in batches])
+            self.optimizer.zero_grad()
+            out = self.fused(self.fused.fuse_inputs(inputs))
+            loss = self.criterion(out, targets)
+            loss.backward()
+            self.optimizer.step()
+            per_model = self.criterion.per_model(out, targets)
+            for b, slot in enumerate(self.slots):
+                slot.curve.append(float(per_model[b]))
+            self.samples += sum(len(y) for _, y in batches)
+        self.seconds += time.perf_counter() - start
+
+        self.epochs += 1
+        occupied = sum(1 for slot in self.slots if slot.useful)
+        self.slot_steps_total += steps * num_models
+        self.slot_steps_occupied += steps * occupied
+        for slot in self.slots:
+            slot.progress += steps
+            self.max_progress = max(self.max_progress, slot.progress)
+
+        return self._retire_finished()
+
+    def _stop_reason(self, slot: _Slot) -> Optional[str]:
+        # budget first: a slot with no steps left must always retire as
+        # BUDGET — the one reason static (non-elastic) mode honors — or a
+        # cancel request on a static engine would pin the slot forever
+        # (step_epoch would spin on zero-step epochs)
+        if slot.remaining <= 0:
+            return StopReason.BUDGET
+        if slot.sub.cancel_requested:
+            return StopReason.CANCELLED
+        job = slot.job
+        if job.target_loss is not None and slot.curve and \
+                slot.curve[-1] <= job.target_loss:
+            return StopReason.CONVERGED
+        if job.stop is not None:
+            epochs_done = -(-slot.progress // max(1, job.epoch_steps))
+            if job.stop(epochs_done, slot.curve):
+                return StopReason.EARLY_STOP
+        return None
+
+    def _retire_finished(self) -> List[JobResult]:
+        """EVICTING: export finished slots, narrow the array, free width."""
+        stopping: List[Tuple[int, str]] = []
+        for index, slot in enumerate(self.slots):
+            reason = self._stop_reason(slot)
+            if reason is None:
+                continue
+            if not self.elastic and reason != StopReason.BUDGET:
+                # static baseline: the signal fires but the slot rides its
+                # fused width to the end — the waste the elastic runtime
+                # reclaims, kept measurable via the occupancy accounting
+                slot.useful = False
+                continue
+            stopping.append((index, reason))
+        if not stopping:
+            return []
+
+        self.state = ArrayState.EVICTING
+        retired: List[JobResult] = []
+        stop_map = dict(stopping)
+        keep = [i for i in range(self.live_width) if i not in stop_map]
+        for index, reason in stopping:
+            slot = self.slots[index]
+            checkpoint = export_to_unfused(self.fused, index, slot.template)
+            result = JobResult(
+                job_id=slot.sub.job_id, name=slot.job.name,
+                checkpoint=checkpoint, loss_curve=slot.curve,
+                array_id=self.array_id, slot=index,
+                array_width=self.live_width,
+                steps_trained=slot.progress, stop_reason=reason,
+                evicted=bool(keep) or reason != StopReason.BUDGET)
+            if reason == StopReason.CANCELLED:
+                self.engine.queue.mark_cancelled(slot.sub, result)
+                self.engine.metrics.record_cancelled()
+            else:
+                self.engine.queue.mark_completed(slot.sub, result)
+                self.jobs_served += 1
+            retired.append(result)
+        self._deliver(retired)
+
+        # only *early* retirements count as evictions — budget completions
+        # inside a heterogeneous array free width too, but they are the
+        # normal end of a job, not the stop-signal machinery at work
+        early = sum(1 for _, r in stopping if r != StopReason.BUDGET)
+        if early and self.elastic:
+            self.evictions += early
+            self.engine.metrics.record_eviction(early)
+        if keep:
+            self.fused = split_fused(self.fused, keep)
+            self.optimizer = split_optimizer(
+                self.optimizer, self.fused.parameters(), keep)
+            self.criterion = self._make_criterion(len(keep))
+            self.slots = [self.slots[i] for i in keep]
+            self.state = ArrayState.STEPPING
+        else:
+            self.slots = []
+            self.state = ArrayState.DRAINED
+        return retired
+
+    # ------------------------------------------------------------------ #
+    # MERGING: freed-width admission and straggler defragmentation
+    # ------------------------------------------------------------------ #
+    def admit(self, subs: Sequence[SubmittedJob],
+              templates: Sequence[Module]) -> None:
+        """Fuse fresh queued jobs into this array's freed width.
+
+        The newcomers are loaded into a temporary fused sub-array with a
+        fresh optimizer (zero state == the lazy initialization they would
+        get training alone) and merged in; their slots then train with
+        their own progress counters, so their checkpoints stay
+        serial-equivalent even though they boarded mid-flight.
+        """
+        if self.state == ArrayState.PENDING:
+            self.prepare()
+        width = len(subs)
+        if width == 0 or width > self.freed_width:
+            raise ValueError(f"cannot admit {width} jobs into freed width "
+                             f"{self.freed_width}")
+        self.state = ArrayState.MERGING
+        sub_model = subs[0].job.build_model(width, None)
+        load_from_unfused(sub_model, templates)
+        sub_opt = make_fused_optimizer(
+            sub_model, [sub.job.config for sub in subs], width)
+
+        merged = merge_fused(self.fused, sub_model)
+        merged_opt = merge_optimizers(self.optimizer, sub_opt,
+                                      merged.parameters())
+        # merge_fused/merge_optimizers never mutate their inputs, so a
+        # raise above leaves the live array untouched (failure isolation);
+        # past this point the swap is atomic
+        self.fused, self.optimizer = merged, merged_opt
+        self.criterion = self._make_criterion(self.live_width + width)
+        for sub, template in zip(subs, templates):
+            self.engine.queue.mark_running(sub)
+            self.slots.append(_Slot(sub=sub, template=template))
+        self.admissions += width
+        self.engine.metrics.record_admission(width)
+        self.state = ArrayState.STEPPING
+
+    def merge_with(self, other: "ArrayExecutor") -> None:
+        """Absorb a paused straggler executor (fleet defragmentation).
+
+        ``other``'s live slots, fused state and per-slot optimizer state
+        join this array; its lifetime accounting is carried over so the
+        final :class:`~repro.runtime.metrics.ArrayRecord` credits the work
+        wherever it was done.  ``other`` must be paused (not stepping).
+        """
+        if other.compat_key != self.compat_key:
+            raise ValueError("cannot merge arrays with different "
+                             "fusibility profiles")
+        if self.state == ArrayState.PENDING:
+            self.prepare()
+        if other.state == ArrayState.PENDING:
+            other.prepare()
+        self.state = ArrayState.MERGING
+        merged = merge_fused(self.fused, other.fused)
+        merged_opt = merge_optimizers(self.optimizer, other.optimizer,
+                                      merged.parameters())
+        self.fused, self.optimizer = merged, merged_opt
+        self.slots.extend(other.slots)
+        self.criterion = self._make_criterion(self.live_width)
+
+        self.samples += other.samples
+        self.seconds += other.seconds
+        self.max_progress = max(self.max_progress, other.max_progress)
+        self.slot_steps_total += other.slot_steps_total
+        self.slot_steps_occupied += other.slot_steps_occupied
+        self.evictions += other.evictions
+        self.admissions += other.admissions
+        self.merges += other.merges + 1
+        self.jobs_served += other.jobs_served
+        self._deliver(other.take_results())
+        self.launch_width = max(self.launch_width, self.live_width)
+
+        other.slots = []
+        other.fused = None
+        other.optimizer = None
+        other.state = ArrayState.DRAINED
+        self.state = ArrayState.STEPPING
+
+    # ------------------------------------------------------------------ #
+    def record(self) -> ArrayRecord:
+        """The drained array's accounting record."""
+        return ArrayRecord(
+            array_id=self.array_id, signature=self.signature,
+            num_models=self.launch_width, width_cap=self.width_cap,
+            steps=self.max_progress, samples=self.samples,
+            seconds=self.seconds,
+            device=self.device_name,
+            sim_seconds=self.plan.projected_seconds,
+            jobs_served=self.jobs_served,
+            slot_steps_total=self.slot_steps_total,
+            slot_steps_occupied=self.slot_steps_occupied,
+            evictions=self.evictions, admissions=self.admissions,
+            merges=self.merges)
 
 
 class TrainingArrayEngine:
@@ -96,6 +541,12 @@ class TrainingArrayEngine:
     every :class:`~repro.runtime.metrics.ArrayRecord` it produces) and
     ``array_ids`` is the fleet's shared id allocator, so array ids stay
     unique across concurrently training devices.
+
+    ``elastic`` (default on) enables the stepwise lifecycle: stop signals,
+    live eviction and freed-width admission.  With ``elastic=False`` the
+    engine reproduces the old run-to-completion behavior — every job trains
+    its full budget at its array's launch width — which is the baseline the
+    elastic utilization benchmark measures against.
     """
 
     def __init__(self, policy: Optional[ArrayPolicy] = None,
@@ -103,7 +554,8 @@ class TrainingArrayEngine:
                  metrics: Optional[RuntimeMetrics] = None,
                  queue: Optional[JobQueue] = None,
                  device=None,
-                 array_ids: Optional[Callable[[], int]] = None):
+                 array_ids: Optional[Callable[[], int]] = None,
+                 elastic: bool = True):
         # `is not None`, not `or`: an empty JobQueue is falsy (__len__ == 0),
         # and a fleet passes its shared-but-empty queue at construction time
         self.queue = queue if queue is not None else JobQueue()
@@ -112,6 +564,7 @@ class TrainingArrayEngine:
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
         self.device = device
         self.device_name = getattr(device, "name", "") if device else ""
+        self.elastic = elastic
         self._array_ids = array_ids or self._private_array_ids
         self._next_array_id = 0
         self._id_lock = threading.Lock()
@@ -133,6 +586,18 @@ class TrainingArrayEngine:
 
     def submit_all(self, jobs: Sequence[TrainingJob]) -> List[int]:
         return [self.submit(job) for job in jobs]
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a job: immediately if still queued; if already training,
+        the *elastic* lifecycle evicts it at the next epoch boundary with
+        its partial checkpoint (a non-elastic engine runs every started job
+        to completion — the request is recorded but has no effect)."""
+        cancelled = self.queue.cancel(job_id)
+        if cancelled and self.queue.state(job_id) == JobState.CANCELLED:
+            # cancelled straight out of the queue; running jobs are counted
+            # by the executor when the eviction actually happens
+            self.metrics.record_cancelled()
+        return cancelled
 
     # ------------------------------------------------------------------ #
     # scheduling cycles
@@ -161,112 +626,129 @@ class TrainingArrayEngine:
         return results
 
     # ------------------------------------------------------------------ #
-    # fused training
+    # stepwise execution
     # ------------------------------------------------------------------ #
-    def _make_optimizer(self, fused: Module, plan: ArrayPlan):
-        """Build the fused optimizer with per-model hyper-parameter vectors."""
-        configs = [sub.job.config for sub in plan.jobs]
-        name = str(configs[0].get("optimizer", "adam")).lower()
-        if name not in _OPTIMIZERS:
-            raise ValueError(f"unknown optimizer '{name}'; choose from "
-                             f"{sorted(_OPTIMIZERS)}")
-        cls, vector_keys = _OPTIMIZERS[name]
-        kwargs = {}
-        for key, (kw, default) in vector_keys.items():
-            if any(key in c for c in configs):
-                kwargs[kw] = [c.get(key, default) for c in configs]
-        if name in ("adam", "adamw") and any(
-                "adam_beta1" in c or "adam_beta2" in c for c in configs):
-            kwargs["betas"] = ([c.get("adam_beta1", 0.9) for c in configs],
-                               [c.get("adam_beta2", 0.999) for c in configs])
-        return cls(fused.parameters(), num_models=plan.num_models, **kwargs)
+    def make_executor(self, plan: ArrayPlan) -> ArrayExecutor:
+        """A fresh executor for one placed plan (allocates the array id)."""
+        return ArrayExecutor(engine=self, plan=plan,
+                             array_id=self._array_ids())
 
     def train_plan(self, plan: ArrayPlan) -> List[JobResult]:
-        """Train one fused array and hand every job its checkpoint.
+        """Train one fused array to completion and return its results.
 
-        This is the fleet's per-device entry point (a worker thread calls it
-        for every plan placed on — or stolen by — its device), and the last
-        stage of the standalone :meth:`run_cycle`.
-
-        A failing multi-job array does not fail its jobs outright: they are
-        requeued in quarantine (``solo``) and retried as width-1 arrays on
-        the next cycle, so one bad job — e.g. a data stream whose batches
-        don't match its cohort's — cannot take healthy cohort-mates down.
-        Only a width-1 failure is terminal.
+        This is the fleet's per-device entry point (a worker thread calls
+        it for every plan placed on — or stolen by — its device), and the
+        last stage of the standalone :meth:`run_cycle`.
         """
-        jobs = plan.jobs
+        return self.run_executor(self.make_executor(plan))
+
+    def run_executor(self, executor: ArrayExecutor,
+                     after_epoch: Optional[
+                         Callable[[ArrayExecutor], Optional[str]]] = None
+                     ) -> List[JobResult]:
+        """Drive an executor until it drains, pauses, or is handed off.
+
+        ``after_epoch`` runs at every epoch boundary and may return
+        ``"detach"`` to stop stepping here without draining — the fleet
+        uses this to pause under-filled stragglers into its defrag pool and
+        to migrate merged arrays to the cost-model-optimal device.  Without
+        a hook, the engine's own freed-width admission runs instead.
+
+        A failing multi-job array does not fail its jobs outright: its
+        still-live jobs are requeued in quarantine (``solo``) and retried
+        as width-1 arrays on the next cycle, so one bad job — e.g. a data
+        stream whose batches don't match its cohort's — cannot take healthy
+        cohort-mates down.  Only a width-1 failure is terminal.  Jobs that
+        already left the array keep their exported checkpoints.
+        """
         try:
-            return self._train_array_inner(plan)
+            while not executor.done:
+                executor.step_epoch()
+                if executor.done:
+                    break
+                if after_epoch is not None:
+                    if after_epoch(executor) == "detach":
+                        return executor.take_results()
+                elif self.elastic:
+                    self.refill_from_queue(executor)
         except Exception as exc:  # noqa: BLE001 — isolate array failures
             self.metrics.record_array_failure()
-            if plan.num_models > 1:
-                for sub in reversed(jobs):
+            live = [slot.sub for slot in executor.slots]
+            executor.slots = []
+            executor.state = ArrayState.DRAINED
+            if len(live) > 1:
+                for sub in reversed(live):
                     sub.solo = True
                     self.queue.requeue(sub)
-                return []
-            for sub in jobs:
-                self.queue.mark_failed(sub, str(exc))
-            self.metrics.record_failure(len(jobs))
-            return []
+            else:
+                for sub in live:
+                    self.queue.mark_failed(sub, str(exc))
+                self.metrics.record_failure(len(live))
+            if executor.jobs_served > 0 or executor.slot_steps_total > 0:
+                # the array did real work before failing: jobs already
+                # evicted hold valid checkpoints and their slot-steps back
+                # the efficiency metric — losing the record would leave
+                # completed jobs uncounted
+                self.metrics.record_array(executor.record())
+            return executor.take_results()
+        self.metrics.record_array(executor.record())
+        return executor.take_results()
 
-    def _train_array_inner(self, plan: ArrayPlan) -> List[JobResult]:
-        jobs, templates = plan.jobs, plan.templates
-        num_models = plan.num_models
-        array_id = self._array_ids()
-        for sub in jobs:
-            self.queue.mark_running(sub)
+    # ------------------------------------------------------------------ #
+    # freed-width admission
+    # ------------------------------------------------------------------ #
+    def refill_from_queue(self, executor: ArrayExecutor,
+                          device_cap: Optional[int] = None) -> int:
+        """Admit compatible pending jobs into an executor's freed width.
 
-        validate_fusibility(templates)
-        fused = jobs[0].job.build_model(num_models, None)
-        if not hasattr(fused, "fuse_inputs"):
-            raise TypeError(
-                f"fused model {type(fused).__name__} has no 'fuse_inputs'; "
-                f"build models through repro.hfta.ops.factory.OpsLibrary "
-                f"(see repro.models for examples)")
-        load_from_unfused(fused, templates)
+        This is how freed capacity flows back to the scheduler between
+        cycles: a queued job whose fusibility profile matches a running
+        under-filled array boards it immediately instead of waiting for the
+        array to drain.  ``device_cap`` additionally bounds the admission
+        target width — a stolen or re-placed executor may sit on a device
+        with a smaller memory cap than the one its plan was sized for, and
+        admission must never regrow the array past where it now runs.
+        Returns the number of jobs admitted.
+        """
+        freed = executor.freed_width
+        if device_cap is not None:
+            freed = min(freed, max(0, device_cap - executor.live_width))
+        if freed <= 0 or executor.done:
+            return 0
+        profile = executor.admission_profile
+        candidates = self.queue.take_if(
+            lambda sub: (not sub.solo and not sub.cancel_requested
+                         and sub.job_id not in executor.admission_rejects
+                         and self.batcher.admission_profile(sub) == profile),
+            max_jobs=freed)
+        if not candidates:
+            return 0
 
-        optimizer = self._make_optimizer(fused, plan)
-        loss_key = jobs[0].job.loss
-        if loss_key not in _CRITERIA:
-            raise ValueError(f"unknown loss '{loss_key}'; choose from "
-                             f"{sorted(_CRITERIA)}")
-        criterion = _CRITERIA[loss_key](num_models)
-
-        curves: List[List[float]] = [[] for _ in range(num_models)]
-        samples = 0
-        start = time.perf_counter()
-        for step in range(plan.steps):
-            batches = [sub.job.data(step) for sub in jobs]
-            inputs = [nn.tensor(np.asarray(x, dtype=np.float32))
-                      for x, _ in batches]
-            targets = np.stack([y for _, y in batches])
-            optimizer.zero_grad()
-            out = fused(fused.fuse_inputs(inputs))
-            loss = criterion(out, targets)
-            loss.backward()
-            optimizer.step()
-            per_model = criterion.per_model(out, targets)
-            for b in range(num_models):
-                curves[b].append(float(per_model[b]))
-            samples += sum(len(y) for _, y in batches)
-        seconds = time.perf_counter() - start
-
-        results: List[JobResult] = []
-        for slot, sub in enumerate(jobs):
-            # Reuse the template as the checkpoint container: its structure
-            # already matches and its initial weights are no longer needed.
-            checkpoint = export_to_unfused(fused, slot, templates[slot])
-            result = JobResult(job_id=sub.job_id, name=sub.job.name,
-                               checkpoint=checkpoint, loss_curve=curves[slot],
-                               array_id=array_id, slot=slot,
-                               array_width=num_models)
-            self.queue.mark_completed(sub, result)
-            results.append(result)
-
-        self.metrics.record_array(ArrayRecord(
-            array_id=array_id, signature=plan.cohort.signature,
-            num_models=num_models, width_cap=plan.width_cap,
-            steps=plan.steps, samples=samples, seconds=seconds,
-            device=plan.device or self.device_name,
-            sim_seconds=plan.projected_seconds))
-        return results
+        subs: List[SubmittedJob] = []
+        templates: List[Module] = []
+        for sub in candidates:
+            try:
+                template = self.batcher.build_template(sub)
+            except Exception as exc:  # noqa: BLE001 — job-provided builder
+                self.queue.mark_failed(sub, f"build_model failed: {exc}")
+                self.metrics.record_failure()
+                continue
+            if structural_signature(template) != executor.structural_sig:
+                # same cheap profile, different structure: remember the
+                # mismatch so the next epoch does not rebuild the template
+                executor.admission_rejects.add(sub.job_id)
+                self.queue.requeue(sub)
+                continue
+            subs.append(sub)
+            templates.append(template)
+        if not subs:
+            return 0
+        try:
+            executor.admit(subs, templates)
+        except Exception:  # noqa: BLE001 — admission must not kill the array
+            for sub in reversed(subs):
+                executor.admission_rejects.add(sub.job_id)
+                self.queue.requeue(sub)
+            executor.state = ArrayState.STEPPING
+            return 0
+        return len(subs)

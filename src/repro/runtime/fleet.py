@@ -9,24 +9,32 @@ runs the scheduling loop::
       -> batcher.form_cohorts()               (batcher.py)
       -> placer.place()                       (placement.py, repro.hwsim)
            device + width per array, cost-model driven
-      -> per-device plan queues, one worker thread per device
-           worker.engine.train_plan(plan)     (engine.py)
-           idle workers steal fitting plans from the busiest queue
+      -> per-device work queues, one worker thread per device
+           ArrayExecutor stepped epoch by epoch (engine.py):
+             evict finished slots, admit queued jobs into freed width
+           idle workers steal fitting plans — or adopt paused stragglers
+      -> defragmentation between epochs:
+           an under-filled array pauses into the straggler pool; a
+           compatible stepping array absorbs it (hfta.fusion.merge_fused)
+           and is re-placed via the hwsim cost model
       -> metrics.record_array(device=...)     (metrics.py)
 
 Concurrency model: devices are *simulated* accelerators, so "a device
-trains an array" means a worker thread runs the numpy training loop.  The
-threads share nothing but the thread-safe queue/metrics and a dispatch
-lock around the per-device plan deques; each array's training is fully
-independent (own templates, own optimizer state), which is why fleet
-execution preserves the runtime's core invariant — every checkpoint is
-bit-equivalent to serial training.
+trains an array" means a worker thread steps the executor's numpy training
+loop.  The threads share nothing but the thread-safe queue/metrics and a
+dispatch lock around the per-device work deques, the straggler pool and
+the stepping registry; each array's training state is owned by exactly one
+thread at a time (stepping worker, pool, or a work deque), which is why
+fleet execution preserves the runtime's core invariant — every checkpoint
+is serial-equivalent no matter how often its array was split, merged or
+moved.
 
 Failure isolation carries over from the engine: a failing multi-job array
-quarantines its jobs (``solo``) back into the shared queue, and the *next*
-scheduling cycle retries them as width-1 arrays — on whichever device the
-cost model then picks.  A failing array occupies only its own device;
-cohort-mates already dispatched elsewhere keep training.
+quarantines its live jobs (``solo``) back into the shared queue, and the
+*next* scheduling cycle retries them as width-1 arrays — on whichever
+device the cost model then picks.  A failing array occupies only its own
+device; cohort-mates already dispatched elsewhere keep training, and jobs
+already evicted keep their checkpoints.
 """
 
 from __future__ import annotations
@@ -34,16 +42,21 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..hwsim import DeviceSpec
 from .batcher import Batcher
-from .engine import JobResult, TrainingArrayEngine
+from .engine import ArrayExecutor, JobResult, TrainingArrayEngine
 from .metrics import RuntimeMetrics
-from .placement import DEFAULT_FLEET, FleetPlacer, PlacementDecision
-from .queue import JobQueue, TrainingJob
+from .placement import (DEFAULT_FLEET, DefragPolicy, FleetPlacer,
+                        PlacementDecision)
+from .queue import JobQueue, JobState, TrainingJob
 
 __all__ = ["DeviceWorker", "FleetScheduler"]
+
+#: what a device worker's deque holds: a placed-but-unstarted plan, or a
+#: live executor handed over mid-training (defrag re-placement, stealing)
+WorkItem = Union[PlacementDecision, ArrayExecutor]
 
 
 class DeviceWorker:
@@ -52,7 +65,7 @@ class DeviceWorker:
     def __init__(self, device: DeviceSpec, engine: TrainingArrayEngine):
         self.device = device
         self.engine = engine
-        self.plans: Deque[PlacementDecision] = deque()
+        self.plans: Deque[WorkItem] = deque()
 
     @property
     def name(self) -> str:
@@ -67,11 +80,19 @@ class FleetScheduler:
     :class:`JobResult` contract, but each scheduling cycle places arrays on
     the cost-model-optimal devices and trains them concurrently.
 
-    ``work_stealing`` (default on) lets a device whose plan queue drained
+    ``work_stealing`` (default on) lets a device whose work queue drained
     steal the last fitting plan from the longest remaining queue — idle
     hardware is the exact waste the paper quantifies, so the fleet never
     leaves a device parked while another has a backlog it could legally
-    run (the stolen array must fit the thief's memory cap).
+    run (the stolen array must fit the thief's memory cap).  With the
+    elastic lifecycle, stealing also operates on *freed width*: an idle
+    worker adopts paused straggler executors from the defrag pool.
+
+    ``elastic`` (default on) turns on the stepwise lifecycle (stop
+    signals, eviction, freed-width admission); ``defrag`` additionally
+    merges under-filled stragglers across devices and re-places the merged
+    array via the hwsim cost model.  Pass ``defrag=None`` to disable
+    defragmentation while keeping eviction.
     """
 
     def __init__(self, devices: Sequence[DeviceSpec] = DEFAULT_FLEET,
@@ -81,7 +102,9 @@ class FleetScheduler:
                  queue: Optional[JobQueue] = None,
                  max_width: int = 8, precision: str = "amp",
                  default_workload: str = "pointnet_cls",
-                 work_stealing: bool = True):
+                 work_stealing: bool = True,
+                 elastic: bool = True,
+                 defrag: Optional[DefragPolicy] = DefragPolicy()):
         # `is not None`, not `or`: an empty JobQueue is falsy (__len__ == 0)
         self.queue = queue if queue is not None else JobQueue()
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
@@ -90,14 +113,28 @@ class FleetScheduler:
             devices=tuple(devices), max_width=max_width, precision=precision,
             default_workload=default_workload)
         self.work_stealing = work_stealing
+        self.elastic = elastic
+        self.defrag = defrag if elastic else None
         self._dispatch_lock = threading.Lock()
         self._id_lock = threading.Lock()
         self._next_array_id = 0
+        #: paused under-filled executors awaiting a merge (or adoption)
+        self._straggler_pool: List[ArrayExecutor] = []
+        #: compat_key -> number of executors currently stepping on a worker
+        #: thread; a straggler only pauses when a compatible peer is
+        #: stepping (the peer absorbs it at its next epoch boundary), so
+        #: nothing ever waits in the pool without a designated consumer
+        self._stepping: Dict[Tuple, int] = {}
+        #: workers whose thread is still draining this cycle; re-placement
+        #: only targets live workers, so a migrated executor can never
+        #: strand in a queue nobody reads anymore
+        self._live_workers: set = set()
         self.workers: Dict[str, DeviceWorker] = {}
         for device in self.placer.devices:
             engine = TrainingArrayEngine(
                 queue=self.queue, metrics=self.metrics, device=device,
-                array_ids=self._allocate_array_id)
+                batcher=self.batcher, array_ids=self._allocate_array_id,
+                elastic=elastic)
             self.workers[device.name] = DeviceWorker(device, engine)
 
     def _allocate_array_id(self) -> int:
@@ -117,6 +154,16 @@ class FleetScheduler:
 
     def submit_all(self, jobs: Sequence[TrainingJob]) -> List[int]:
         return [self.submit(job) for job in jobs]
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a job fleet-wide: immediately if still queued; if already
+        training, the elastic lifecycle evicts it at its array's next epoch
+        boundary (with ``elastic=False`` a started job runs to completion —
+        the request is recorded but has no effect)."""
+        cancelled = self.queue.cancel(job_id)
+        if cancelled and self.queue.state(job_id) == JobState.CANCELLED:
+            self.metrics.record_cancelled()
+        return cancelled
 
     # ------------------------------------------------------------------ #
     # scheduling cycles
@@ -154,9 +201,10 @@ class FleetScheduler:
     # the worker pool
     # ------------------------------------------------------------------ #
     def _run_workers(self) -> List[JobResult]:
-        """Drain every device's plan queue on its own thread, then join."""
+        """Drain every device's work queue on its own thread, then join."""
         results: List[JobResult] = []
         results_lock = threading.Lock()
+        self._live_workers = set(self.workers)
         threads = [threading.Thread(target=self._worker_loop, name=name,
                                     args=(worker, results, results_lock),
                                     daemon=True)
@@ -165,44 +213,196 @@ class FleetScheduler:
             thread.start()
         for thread in threads:
             thread.join()
+        # Belt and braces: the pausing and re-placement protocols guarantee
+        # nothing outlives the cycle (a worker's _take checks the pool
+        # before giving up, and migration only targets live workers), but a
+        # live array must never survive a join either way.
+        for executor in self._flush_orphans():
+            worker = self.workers.get(executor.device_name) or \
+                next(iter(self.workers.values()))
+            results.extend(worker.engine.run_executor(executor))
         return results
+
+    def _flush_orphans(self) -> List[ArrayExecutor]:
+        with self._dispatch_lock:
+            orphans, self._straggler_pool = self._straggler_pool, []
+            for worker in self.workers.values():
+                leftover = [item for item in worker.plans
+                            if isinstance(item, ArrayExecutor)]
+                for item in leftover:
+                    worker.plans.remove(item)
+                orphans.extend(leftover)
+            for executor in orphans:
+                executor.paused = False
+            return orphans
 
     def _worker_loop(self, worker: DeviceWorker, results: List[JobResult],
                      results_lock: threading.Lock) -> None:
         while True:
-            decision = self._take(worker)
-            if decision is None:
+            item = self._take(worker)
+            if item is None:
                 return
-            # train_plan contains its own failure isolation (quarantine
+            if isinstance(item, PlacementDecision):
+                executor = worker.engine.make_executor(item.plan)
+            else:
+                executor = item
+                executor.device_name = worker.name
+            key = executor.compat_key
+            with self._dispatch_lock:
+                self._stepping[key] = self._stepping.get(key, 0) + 1
+            # run_executor contains its own failure isolation (quarantine
             # requeue); anything it does raise must not kill the thread and
             # stall join() of a healthy fleet — record and move on.
             try:
-                out = worker.engine.train_plan(decision.plan)
+                out = worker.engine.run_executor(
+                    executor,
+                    after_epoch=lambda ex, w=worker: self._after_epoch(w, ex))
             except Exception:  # noqa: BLE001 — worker must outlive any array
                 self.metrics.record_array_failure()
-                continue
+                out = executor.take_results()
+            finally:
+                with self._dispatch_lock:
+                    if not executor.paused:
+                        self._stepping[key] -= 1
             with results_lock:
                 results.extend(out)
 
-    def _take(self, worker: DeviceWorker) -> Optional[PlacementDecision]:
-        """Next plan for ``worker``: its own queue, else a stolen one."""
+    # ------------------------------------------------------------------ #
+    # the defragmentation pass (between epochs, on the stepping thread)
+    # ------------------------------------------------------------------ #
+    def _after_epoch(self, worker: DeviceWorker,
+                     executor: ArrayExecutor) -> Optional[str]:
+        """Epoch-boundary hook: admission, straggler absorption, pausing.
+
+        Returns ``"detach"`` when the executor left this thread (paused
+        into the pool, or re-placed onto another device after a merge).
+        """
+        if not self.elastic:
+            return None
+        # freed-width admission from the shared queue (emits freed
+        # capacity back to the scheduler the moment eviction creates it),
+        # bounded by *this* device's memory cap — the executor may have
+        # been stolen or re-placed onto a smaller device than its plan
+        # was sized for
+        worker.engine.refill_from_queue(
+            executor,
+            device_cap=self.placer.width_cap(
+                self.placer.resolve_workload(executor), worker.device))
+        if self.defrag is None:
+            return None
+
+        absorbed = 0
+        while True:
+            straggler = self._pop_compatible(executor, worker)
+            if straggler is None:
+                break
+            executor.merge_with(straggler)
+            self.metrics.record_merge()
+            absorbed += 1
+        if absorbed:
+            return self._replace(worker, executor)
+        return self._maybe_pause(worker, executor)
+
+    def _pop_compatible(self, executor: ArrayExecutor,
+                        worker: DeviceWorker) -> Optional[ArrayExecutor]:
+        """A pool straggler this executor can legally absorb, if any."""
+        with self._dispatch_lock:
+            for straggler in self._straggler_pool:
+                if straggler.compat_key != executor.compat_key:
+                    continue
+                if not self.placer.fits_width(
+                        executor.workload,
+                        executor.live_width + straggler.live_width,
+                        worker.device):
+                    continue
+                self._straggler_pool.remove(straggler)
+                straggler.paused = False
+                return straggler
+        return None
+
+    def _replace(self, worker: DeviceWorker,
+                 executor: ArrayExecutor) -> Optional[str]:
+        """Re-place a merged array on the cost-model-optimal device."""
+        device, _ = self.placer.replan(
+            executor.workload, executor.live_width, executor.remaining_steps)
+        if device.name == worker.name:
+            return None
+        with self._dispatch_lock:
+            # never migrate to a worker whose thread already drained and
+            # exited — the array would strand; finishing it here is always
+            # correct, just not cost-model-optimal
+            if device.name not in self._live_workers:
+                return None
+            executor.device_name = device.name
+            self.workers[device.name].plans.append(executor)
+        self.metrics.record_replacement()
+        return "detach"
+
+    def _maybe_pause(self, worker: DeviceWorker,
+                     executor: ArrayExecutor) -> Optional[str]:
+        """Pause an under-filled array into the straggler pool — only when
+        a compatible peer is stepping somewhere and will absorb it."""
+        if executor.solo or not self.defrag.underfilled(executor):
+            return None
+        key = executor.compat_key
+        with self._dispatch_lock:
+            if self._stepping.get(key, 0) < 2:
+                return None          # nobody would absorb it; keep going
+            self._stepping[key] -= 1
+            executor.paused = True
+            self._straggler_pool.append(executor)
+        return "detach"
+
+    # ------------------------------------------------------------------ #
+    # taking work: own queue, straggler adoption, then stealing
+    # ------------------------------------------------------------------ #
+    def _take(self, worker: DeviceWorker) -> Optional[WorkItem]:
+        """Next work item for ``worker``: its own queue, an adoptable
+        straggler (freed-width work stealing), else a stolen plan."""
         with self._dispatch_lock:
             if worker.plans:
                 return worker.plans.popleft()
+            # a paused straggler whose designated absorber is gone (no
+            # compatible executor stepping anywhere) must be resumed —
+            # freed-width work stealing; one with a live absorber stays
+            # pooled so the merge can happen
+            for straggler in self._straggler_pool:
+                if self._stepping.get(straggler.compat_key, 0) > 0:
+                    continue
+                if self.placer.fits_width(straggler.workload,
+                                          straggler.live_width,
+                                          worker.device):
+                    self._straggler_pool.remove(straggler)
+                    straggler.paused = False
+                    if straggler.device_name != worker.name:
+                        self.metrics.record_steal()
+                    return straggler
             if not self.work_stealing:
+                # about to exit: re-placement must stop targeting this
+                # worker, atomically with the give-up decision
+                self._live_workers.discard(worker.name)
                 return None
             victims = sorted((w for w in self.workers.values()
                               if w is not worker and w.plans),
                              key=lambda w: len(w.plans), reverse=True)
             for victim in victims:
                 # steal from the tail (the victim reaches it last), newest
-                # eligible plan first; the plan must fit the thief's device
-                for decision in reversed(victim.plans):
-                    if not self.placer.fits(decision.plan, worker.device):
+                # eligible item first; it must fit the thief's device
+                for item in reversed(victim.plans):
+                    if isinstance(item, PlacementDecision):
+                        if not self.placer.fits(item.plan, worker.device):
+                            continue
+                        victim.plans.remove(item)
+                        return self._retag(item, worker)
+                    if not self.placer.fits_width(
+                            item.workload, item.live_width, worker.device):
                         continue
-                    victim.plans.remove(decision)
-                    return self._retag(decision, worker)
-        return None
+                    victim.plans.remove(item)
+                    item.device_name = worker.name
+                    self.metrics.record_steal()
+                    return item
+            self._live_workers.discard(worker.name)
+            return None
 
     def _retag(self, decision: PlacementDecision,
                thief: DeviceWorker) -> PlacementDecision:

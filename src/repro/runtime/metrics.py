@@ -20,7 +20,17 @@ __all__ = ["ArrayRecord", "RuntimeMetrics"]
 
 @dataclass(frozen=True)
 class ArrayRecord:
-    """Accounting for one launched fused array."""
+    """Accounting for one launched fused array.
+
+    With the elastic lifecycle an array may shrink (evictions), grow
+    (freed-width admissions) and absorb whole stragglers (defrag merges)
+    before it drains; the ``slot_steps_*`` pair captures the utilization
+    story: ``slot_steps_total`` counts every physically executed
+    slot-step, ``slot_steps_occupied`` only those doing useful work for a
+    live job.  A static (run-to-completion) array that keeps early-stopped
+    jobs on board executes unoccupied slot-steps; an elastic array frees
+    that width instead.
+    """
 
     array_id: int
     signature: str        # cohort workload signature
@@ -31,6 +41,15 @@ class ArrayRecord:
     seconds: float        # wall-clock training time
     device: str = ""      # fleet device that executed the array ("" = n/a)
     sim_seconds: float = 0.0  # placer's cost-model projection for the array
+    jobs_served: int = -1  # distinct jobs completed; -1 (records predating
+                           # the elastic lifecycle) means "= num_models".
+                           # 0 is a real value: an array whose jobs were
+                           # all cancelled completed nothing.
+    slot_steps_total: int = 0     # physically executed slot-steps
+    slot_steps_occupied: int = 0  # slot-steps spent on live (useful) jobs
+    evictions: int = 0    # slots retired before the array drained
+    admissions: int = 0   # queued jobs admitted into freed width
+    merges: int = 0       # straggler arrays absorbed (defragmentation)
 
     @property
     def occupancy(self) -> float:
@@ -40,6 +59,13 @@ class ArrayRecord:
     def throughput(self) -> float:
         """Training throughput in samples/s (Figure 4/5 convention)."""
         return self.samples / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def fused_width_efficiency(self) -> float:
+        """Occupied over executed slot-steps (1.0 = no width wasted)."""
+        if self.slot_steps_total == 0:
+            return 1.0
+        return self.slot_steps_occupied / self.slot_steps_total
 
 
 class RuntimeMetrics:
@@ -52,7 +78,16 @@ class RuntimeMetrics:
         self.jobs_submitted = 0
         self.jobs_completed = 0
         self.jobs_failed = 0
+        self.jobs_cancelled = 0
         self.arrays_failed = 0
+        #: elastic-lifecycle counters: slots retired before their array
+        #: drained, queued jobs admitted into freed width, straggler arrays
+        #: absorbed by defragmentation, and merged arrays re-placed onto a
+        #: different device by the cost model
+        self.jobs_evicted = 0
+        self.jobs_admitted = 0
+        self.arrays_merged = 0
+        self.arrays_replaced = 0
         self.records: List[ArrayRecord] = []
         #: wall-clock seconds the fleet spent serving (devices concurrent),
         #: recorded by FleetScheduler.run_until_idle; 0 for the single-device
@@ -72,11 +107,41 @@ class RuntimeMetrics:
     def record_array(self, record: ArrayRecord) -> None:
         with self._lock:
             self.records.append(record)
-            self.jobs_completed += record.num_models
+            # jobs_served is the elastic count (evicted + drained, not
+            # cancelled); legacy records leave it -1 and complete exactly
+            # their launch width
+            self.jobs_completed += (record.jobs_served
+                                    if record.jobs_served >= 0
+                                    else record.num_models)
 
     def record_failure(self, count: int = 1) -> None:
         with self._lock:
             self.jobs_failed += count
+
+    def record_cancelled(self, count: int = 1) -> None:
+        """A job cancelled by its caller (partial checkpoint exported)."""
+        with self._lock:
+            self.jobs_cancelled += count
+
+    def record_eviction(self, count: int = 1) -> None:
+        """Slots retired from a live array, freeing fused width."""
+        with self._lock:
+            self.jobs_evicted += count
+
+    def record_admission(self, count: int = 1) -> None:
+        """Queued jobs admitted into a live array's freed width."""
+        with self._lock:
+            self.jobs_admitted += count
+
+    def record_merge(self) -> None:
+        """A straggler array absorbed into another (defragmentation)."""
+        with self._lock:
+            self.arrays_merged += 1
+
+    def record_replacement(self) -> None:
+        """A merged array moved to the cost-model-optimal device."""
+        with self._lock:
+            self.arrays_replaced += 1
 
     def record_array_failure(self) -> None:
         """An array launch that raised (its jobs retry solo or fail)."""
@@ -137,6 +202,28 @@ class RuntimeMetrics:
         if weight == 0:
             return 0.0
         return sum(r.occupancy * r.steps for r in self.records) / weight
+
+    @property
+    def slot_steps_total(self) -> int:
+        return sum(r.slot_steps_total for r in self.records)
+
+    @property
+    def slot_steps_occupied(self) -> int:
+        return sum(r.slot_steps_occupied for r in self.records)
+
+    @property
+    def fused_width_efficiency(self) -> float:
+        """Occupied over executed slot-steps across all arrays.
+
+        1.0 means no fused slot ever carried a finished job; a static
+        runtime serving early-stopping workloads scores below 1.0, and the
+        ratio elastic/static is the utilization gain the eviction machinery
+        buys (``benchmarks/test_elastic_utilization.py``).
+        """
+        total = self.slot_steps_total
+        if total == 0:
+            return 1.0
+        return self.slot_steps_occupied / total
 
     # ------------------------------------------------------------------ #
     # fleet aggregates (per-device counters; empty for single-device runs)
@@ -217,8 +304,14 @@ class RuntimeMetrics:
             "jobs_submitted": self.jobs_submitted,
             "jobs_completed": self.jobs_completed,
             "jobs_failed": self.jobs_failed,
+            "jobs_cancelled": self.jobs_cancelled,
+            "jobs_evicted": self.jobs_evicted,
+            "jobs_admitted": self.jobs_admitted,
             "arrays_launched": self.arrays_launched,
             "arrays_failed": self.arrays_failed,
+            "arrays_merged": self.arrays_merged,
+            "arrays_replaced": self.arrays_replaced,
+            "fused_width_efficiency": self.fused_width_efficiency,
             "models_per_array": self.models_per_array,
             "occupancy": self.occupancy,
             "fused_steps": self.fused_steps,

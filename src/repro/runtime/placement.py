@@ -37,7 +37,8 @@ from ..hwsim import (A100, RTX6000, TPU_V3, V100, ArrayCostEstimate,
 from .batcher import Cohort
 from .policy import ArrayPlan
 
-__all__ = ["DEFAULT_FLEET", "PlacementDecision", "FleetPlacer"]
+__all__ = ["DEFAULT_FLEET", "PlacementDecision", "FleetPlacer",
+           "DefragPolicy"]
 
 #: the paper's evaluation devices (Tables 2-4): three generations of NVIDIA
 #: data-center GPUs plus a TPU v3 core — a deliberately heterogeneous fleet
@@ -119,6 +120,39 @@ class FleetPlacer:
         """Cost-model projection of ``plan`` on ``device``."""
         return estimate_array_cost(plan, device, self.precision,
                                    workload=self.resolve_workload(plan))
+
+    def fits_width(self, workload_hint: Optional[str], num_models: int,
+                   device: DeviceSpec) -> bool:
+        """Whether a ``num_models``-wide array fits ``device`` (used for
+        freed-width work stealing and straggler adoption)."""
+        workload = get_workload(workload_hint or self.default_workload)
+        return num_models <= self.width_cap(workload, device)
+
+    def replan(self, workload_hint: Optional[str], num_models: int,
+               steps: int) -> Tuple[DeviceSpec, ArrayCostEstimate]:
+        """Re-place a live array: the device projected to finish its
+        remaining ``steps`` at width ``num_models`` first.
+
+        This is the defragmentation pass's second half — after two
+        under-filled stragglers merge, the merged array's width changed,
+        so the device the cost model would pick may change with it.
+        """
+        workload = get_workload(workload_hint or self.default_workload)
+        best = None
+        for device in self.devices:
+            if self.width_cap(workload, device) < num_models:
+                continue
+            est = estimate_array_cost(
+                _CostProbe(num_models, max(1, steps)), device,
+                self.precision, workload=workload)
+            key = (est.train_seconds, -est.throughput)
+            if best is None or key < best[0]:
+                best = (key, device, est)
+        if best is None:
+            raise RuntimeError(
+                f"no device in the fleet fits a width-{num_models} "
+                f"'{workload.name}' array under HFTA")
+        return best[1], best[2]
 
     # ------------------------------------------------------------------ #
     def place(self, cohorts: Sequence[Cohort],
@@ -207,3 +241,31 @@ class _CostProbe:
 
     num_models: int
     steps: int
+
+
+@dataclass(frozen=True)
+class DefragPolicy:
+    """When is a live array a *straggler* worth defragmenting?
+
+    An array whose evictions left it at or below
+    ``occupancy_threshold`` of its launch width is under-filled: it still
+    occupies a device but uses a fraction of the fused width the device
+    was sized for.  The fleet pauses such arrays into a straggler pool and
+    merges compatible pairs (same fusibility profile, see
+    ``ArrayExecutor.compat_key``) back into one well-filled array, then
+    re-places it with :meth:`FleetPlacer.replan`.
+    """
+
+    occupancy_threshold: float = 0.5
+
+    def __post_init__(self):
+        if not 0.0 < self.occupancy_threshold <= 1.0:
+            raise ValueError("occupancy_threshold must be in (0, 1]")
+
+    def underfilled(self, executor) -> bool:
+        """Whether ``executor`` (duck-typed: evictions / live_width /
+        launch_width) should enter the straggler pool."""
+        return (executor.evictions > 0
+                and executor.live_width >= 1
+                and executor.live_width
+                <= self.occupancy_threshold * executor.launch_width)

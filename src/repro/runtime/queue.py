@@ -10,7 +10,11 @@ non-blocking and guarded by a lock, so producers (request handlers, an HFHT
 tuner proposing trials, a cluster-trace replayer) can submit from any thread
 or event loop while a single engine drains it.  Job lifecycle::
 
-    QUEUED -> SCHEDULED -> RUNNING -> COMPLETED | FAILED
+    QUEUED -> SCHEDULED -> RUNNING -> COMPLETED | FAILED | CANCELLED
+
+(:meth:`JobQueue.cancel` removes a queued job immediately; a running job
+is evicted from its elastic array at the next epoch boundary, keeping its
+partial checkpoint.)
 """
 
 from __future__ import annotations
@@ -36,8 +40,9 @@ class JobState:
     RUNNING = "running"        # training inside a fused array
     COMPLETED = "completed"    # checkpoint exported, result available
     FAILED = "failed"          # the array (or validation) raised
+    CANCELLED = "cancelled"    # caller cancelled; partial checkpoint if any
 
-    ALL = (QUEUED, SCHEDULED, RUNNING, COMPLETED, FAILED)
+    ALL = (QUEUED, SCHEDULED, RUNNING, COMPLETED, FAILED, CANCELLED)
 
 
 #: ``build_model(num_models, generator)`` — returns an unfused model when
@@ -78,7 +83,26 @@ class TrainingJob:
         Training-step budget.  Arrays are gang-scheduled, so the batcher
         only fuses jobs with equal budgets (unlike HFHT's epoch-budget
         padding, the runtime returns every checkpoint bit-equivalent to its
-        serial counterpart).
+        serial counterpart).  The *elastic* executor may retire a job
+        earlier (stop signals below) or admit it into a running array whose
+        other slots have different remaining budgets — per-slot progress
+        tracking keeps every checkpoint serial-equivalent either way.
+    epoch_steps:
+        Steps per *epoch*, the granularity at which the elastic executor
+        evaluates stop signals and evicts finished slots.  Epoch cadence is
+        gang-scheduled, so the batcher only fuses jobs with equal
+        ``epoch_steps``.
+    target_loss:
+        Convergence stop: once the job's training loss reaches this value
+        at an epoch boundary, the elastic executor evicts the job with its
+        checkpoint as of that step (``None`` disables).
+    stop:
+        Early-stop signal, called at every epoch boundary as
+        ``stop(epochs_done, loss_curve)`` with the job's own per-step loss
+        curve so far; returning truthy evicts the job.  This is where HFHT
+        early-stopping decisions plug in (see
+        :class:`repro.hfht.MedianStopper` /
+        :class:`repro.hfht.SuccessiveHalvingStopper`).
     seed:
         Seed of the job's deterministic weight initialization.
     loss:
@@ -108,10 +132,15 @@ class TrainingJob:
     space: Optional[SearchSpace] = None
     user: str = "default"
     workload: Optional[str] = None
+    epoch_steps: int = 1
+    target_loss: Optional[float] = None
+    stop: Optional[Callable[[int, List[float]], bool]] = None
 
     def __post_init__(self):
         if self.steps < 1:
             raise ValueError("steps must be >= 1")
+        if self.epoch_steps < 1:
+            raise ValueError("epoch_steps must be >= 1")
         if self.data is None:
             raise ValueError(f"job '{self.name}' has no data stream")
 
@@ -129,6 +158,13 @@ class SubmittedJob:
     #: retried alone (the batcher keeps solo jobs in singleton cohorts), so
     #: one bad cohort-mate cannot take healthy jobs down with it
     solo: bool = False
+    #: set by :meth:`JobQueue.cancel` while the job is scheduled/running;
+    #: the elastic executor evicts the slot at the next epoch boundary
+    cancel_requested: bool = False
+    #: memoized :meth:`repro.runtime.batcher.Batcher.admission_profile`
+    #: (immutable per job; computed at most once even though the freed-width
+    #: admission predicate runs for every pending job at epoch boundaries)
+    profile_cache: Optional[Tuple] = None
 
 
 class JobQueue:
@@ -168,17 +204,66 @@ class JobQueue:
                 sub.state = JobState.SCHEDULED
             return batch
 
+    def take_if(self, predicate: Callable[[SubmittedJob], bool],
+                max_jobs: int = 0) -> List[SubmittedJob]:
+        """Dequeue up to ``max_jobs`` pending jobs satisfying ``predicate``.
+
+        Non-matching jobs keep their queue positions.  This is the elastic
+        runtime's *freed-width admission* path: when an executor evicts
+        early-stopped slots, it pulls compatible pending jobs straight into
+        the running array instead of waiting for the next scheduling cycle.
+        """
+        with self._lock:
+            taken: List[SubmittedJob] = []
+            kept: List[int] = []
+            for job_id in self._pending:
+                sub = self._jobs[job_id]
+                if (max_jobs <= 0 or len(taken) < max_jobs) and predicate(sub):
+                    sub.state = JobState.SCHEDULED
+                    taken.append(sub)
+                else:
+                    kept.append(job_id)
+            self._pending = kept
+            return taken
+
     def requeue(self, submitted: SubmittedJob) -> None:
         """Put a scheduled-but-untrained job back at the front of the queue."""
         with self._lock:
             submitted.state = JobState.QUEUED
             self._pending.insert(0, submitted.job_id)
 
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a job: immediately when still queued, else at the next
+        epoch boundary of the array training it (the elastic executor evicts
+        the slot with its partial checkpoint; a *non-elastic* engine runs
+        every started job to completion, so there the request only sets the
+        flag).  Returns whether the request did anything (unknown ids and
+        completed/failed jobs cannot be cancelled)."""
+        with self._lock:
+            sub = self._jobs.get(job_id)
+            if sub is None:
+                return False
+            if sub.state == JobState.QUEUED:
+                self._pending.remove(job_id)
+                sub.state = JobState.CANCELLED
+                return True
+            if sub.state in (JobState.SCHEDULED, JobState.RUNNING):
+                sub.cancel_requested = True
+                return True
+            return False
+
     def mark_running(self, submitted: SubmittedJob) -> None:
         submitted.state = JobState.RUNNING
 
     def mark_completed(self, submitted: SubmittedJob, result: Any) -> None:
         submitted.state = JobState.COMPLETED
+        submitted.result = result
+
+    def mark_cancelled(self, submitted: SubmittedJob,
+                       result: Any = None) -> None:
+        """A cancelled job keeps its partial result (checkpoint as of the
+        eviction epoch) when it was already training."""
+        submitted.state = JobState.CANCELLED
         submitted.result = result
 
     def mark_failed(self, submitted: SubmittedJob, error: str) -> None:
