@@ -7,7 +7,7 @@ PYTEST = PYTHONPATH=src $(PY) -m pytest
 #   make bench BENCH_FLAGS="--benchmark-json=BENCH_runtime.json"
 BENCH_FLAGS ?=
 
-.PHONY: test bench docs-check examples lint
+.PHONY: test bench bench-gate coverage docs-check examples lint
 
 # tier-1 verify: the whole suite, fail fast
 test:
@@ -16,6 +16,27 @@ test:
 # benchmark harness only, verbose so the reproduced tables/figures print
 bench:
 	$(PYTEST) benchmarks/ -q -s $(BENCH_FLAGS)
+
+# perf-regression gate: run the harness with fresh artifacts, then diff
+# them against the committed baselines (benchmarks/baselines/); fails on
+# >15% throughput/efficiency regression.  Refresh the baselines with
+#   $(PY) tools/bench_compare.py --update-baselines
+bench-gate:
+	$(MAKE) bench BENCH_FLAGS="--benchmark-json=BENCH_runtime.json"
+	$(PY) tools/bench_compare.py
+
+# line-coverage gate on the runtime package (>= 80%): coverage.py via
+# pytest-cov when installed (CI), else the stdlib trace fallback — same
+# installed-vs-offline split as `make lint`
+coverage:
+	@if $(PY) -c "import coverage, pytest_cov" >/dev/null 2>&1; then \
+		PYTHONPATH=src $(PY) -m pytest --cov=repro --cov-report=term \
+			--cov-report=json:coverage.json -q tests/ && \
+		$(PY) tools/coverage_gate.py --coverage-json coverage.json --min 80 ; \
+	else \
+		echo "coverage.py not installed; running tools/coverage_gate.py --fallback" ; \
+		PYTHONPATH=src $(PY) tools/coverage_gate.py --fallback --min 80 ; \
+	fi
 
 # style/correctness lint: ruff when installed (CI), else the stdlib
 # fallback that enforces the core of the same rule families (this repo's
@@ -37,13 +58,14 @@ docs-check:
 	repro.hwsim, repro.cluster, repro.runtime, repro.models, repro.data; \
 	print('docs-check: all documented packages import cleanly')"
 
-# run every example end-to-end (runtime_serving, fleet_serving and
-# elastic_tuning assert serial equivalence of every exported checkpoint,
-# including checkpoints evicted mid-training)
+# run every example end-to-end (runtime_serving, fleet_serving,
+# elastic_tuning and gateway_serving assert serial equivalence of every
+# exported checkpoint, including checkpoints evicted mid-training)
 examples:
 	PYTHONPATH=src $(PY) examples/quickstart.py
 	PYTHONPATH=src $(PY) examples/runtime_serving.py
 	PYTHONPATH=src $(PY) examples/fleet_serving.py
+	PYTHONPATH=src $(PY) examples/gateway_serving.py
 	PYTHONPATH=src $(PY) examples/elastic_tuning.py
 	PYTHONPATH=src $(PY) examples/partial_fusion.py
 	PYTHONPATH=src $(PY) examples/hfht_tuning.py

@@ -33,7 +33,12 @@ of a shared accelerator:
   quarantine-and-retry failure isolation;
 * :mod:`repro.runtime.metrics` — throughput/occupancy counters in the
   conventions of ``benchmarks/test_fig*_counters.py``, plus per-device
-  utilization and the fleet-level aggregate-throughput report.
+  utilization, per-tenant admission/SLO/consumption counters, and the
+  fleet-level aggregate-throughput report;
+* :mod:`repro.runtime.gateway` — the multi-tenant front door: per-tenant
+  token-bucket rate limits and quotas, weighted-fair + priority
+  admission, SLO deadlines driving placement order and eviction-based
+  preemption, bounded-queue backpressure with shed/retry-after.
 
 Quickstart (single device)::
 
@@ -70,6 +75,8 @@ from .metrics import ArrayRecord, RuntimeMetrics
 from .placement import (DEFAULT_FLEET, DefragPolicy, FleetPlacer,
                         PlacementDecision)
 from .fleet import DeviceWorker, FleetScheduler
+from .gateway import (AdmissionTicket, ServingGateway, ShedReason,
+                      TenantSpec)
 
 __all__ = [
     "JobState", "TrainingJob", "SubmittedJob", "JobQueue",
@@ -80,4 +87,5 @@ __all__ = [
     "ArrayRecord", "RuntimeMetrics",
     "DEFAULT_FLEET", "DefragPolicy", "FleetPlacer", "PlacementDecision",
     "DeviceWorker", "FleetScheduler",
+    "AdmissionTicket", "ServingGateway", "ShedReason", "TenantSpec",
 ]

@@ -69,10 +69,22 @@ class Cohort:
 
 
 class Batcher:
-    """Groups pending jobs into fusible cohorts."""
+    """Groups pending jobs into fusible cohorts.
 
-    def __init__(self, infusible_keys: Sequence[str] = DEFAULT_INFUSIBLE_KEYS):
+    ``tenant_isolation`` makes :attr:`TrainingJob.tenant` part of every
+    fusibility key (cohort grouping *and* admission profiles): jobs of
+    different tenants then never share a fused array, trading packing
+    density for hard isolation — one tenant's failing array can no longer
+    quarantine another tenant's jobs, and preemption never touches a
+    cohort-mate of the job it makes room for.  Off by default: the runtime
+    packs across tenants exactly as it packs across users, which is where
+    the fusion win comes from.
+    """
+
+    def __init__(self, infusible_keys: Sequence[str] = DEFAULT_INFUSIBLE_KEYS,
+                 tenant_isolation: bool = False):
         self.infusible_keys = tuple(infusible_keys)
+        self.tenant_isolation = tenant_isolation
 
     # ------------------------------------------------------------------ #
     def infusible_values(self, sub: SubmittedJob
@@ -121,7 +133,11 @@ class Batcher:
                                  job.workload,
                                  str(job.config.get("optimizer",
                                                     "adam")).lower(),
-                                 job.epoch_steps)
+                                 job.epoch_steps,
+                                 # tenant-aware admission: isolated tenants
+                                 # never board another tenant's array
+                                 job.tenant if self.tenant_isolation
+                                 else None)
         return sub.profile_cache
 
     # ------------------------------------------------------------------ #
@@ -153,6 +169,8 @@ class Batcher:
                 structural_signature(template),   # level 2: exact structure
                 # quarantined retries train alone (see SubmittedJob.solo)
                 sub.job_id if sub.solo else None,
+                # tenant isolation: one tenant per array when requested
+                job.tenant if self.tenant_isolation else None,
             )
             if key not in groups:
                 groups[key] = Cohort(signature=workload_signature(job.name),

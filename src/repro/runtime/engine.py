@@ -57,7 +57,7 @@ from ..hfta.fusion import export_to_unfused, load_from_unfused, merge_fused, \
     split_fused, structural_signature, validate_fusibility
 from ..hfta.optim.elastic import merge_optimizers, split_optimizer
 from ..nn.modules.module import Module
-from .batcher import Batcher
+from .batcher import Batcher, Cohort
 from .metrics import ArrayRecord, RuntimeMetrics
 from .policy import ArrayPlan, ArrayPolicy
 from .queue import JobQueue, JobState, SubmittedJob, TrainingJob
@@ -155,6 +155,10 @@ class JobResult:
                                 # a stop signal retired the job earlier)
     stop_reason: str = StopReason.BUDGET
     evicted: bool = False       # left before its array drained
+    preemptions: int = 0        # times the job's slot was preempted out of
+                                # a live array before it finished
+    finished_at: float = 0.0    # time.monotonic() at checkpoint export —
+                                # the gateway's SLO clock reads this
 
 
 @dataclass
@@ -165,6 +169,9 @@ class _Slot:
     template: Module            # checkpoint container (structure matches)
     progress: int = 0           # steps completed so far
     curve: List[float] = field(default_factory=list)
+    #: times this slot was preempted (detached mid-training so a
+    #: deadline-at-risk job could take its width); carried into JobResult
+    preemptions: int = 0
     #: static (non-elastic) mode: a stop signal fired but the slot keeps
     #: training to its budget — it no longer counts as *occupied* width
     useful: bool = True
@@ -213,6 +220,12 @@ class ArrayExecutor:
             plan.jobs[0])
         self.structural_sig = structural_signature(plan.templates[0])
         self.admission_rejects: Set[int] = set()
+        #: job ids whose built template already proved structurally
+        #: compatible (the preemption pass re-evaluates pending at-risk
+        #: jobs at every epoch boundary; the rejects set caches the
+        #: mismatches, this caches the matches, so neither side rebuilds
+        #: a template model per epoch)
+        self.admission_confirms: Set[int] = set()
 
         self.slots: List[_Slot] = [
             _Slot(sub=sub, template=template)
@@ -344,15 +357,23 @@ class ArrayExecutor:
             for b, slot in enumerate(self.slots):
                 slot.curve.append(float(per_model[b]))
             self.samples += sum(len(y) for _, y in batches)
-        self.seconds += time.perf_counter() - start
+        epoch_seconds = time.perf_counter() - start
+        self.seconds += epoch_seconds
 
         self.epochs += 1
         occupied = sum(1 for slot in self.slots if slot.useful)
         self.slot_steps_total += steps * num_models
         self.slot_steps_occupied += steps * occupied
+        usage: Dict[str, Tuple[int, float]] = {}
         for slot in self.slots:
             slot.progress += steps
             self.max_progress = max(self.max_progress, slot.progress)
+            # bill the epoch to the slot's tenant: gang-stepping means
+            # every live slot occupies its lane for the whole epoch
+            prev = usage.get(slot.job.tenant, (0, 0.0))
+            usage[slot.job.tenant] = (prev[0] + steps,
+                                      prev[1] + epoch_seconds)
+        self.engine.metrics.record_tenant_usage(usage)
 
         return self._retire_finished()
 
@@ -405,7 +426,9 @@ class ArrayExecutor:
                 array_id=self.array_id, slot=index,
                 array_width=self.live_width,
                 steps_trained=slot.progress, stop_reason=reason,
-                evicted=bool(keep) or reason != StopReason.BUDGET)
+                evicted=bool(keep) or reason != StopReason.BUDGET,
+                preemptions=slot.preemptions,
+                finished_at=time.monotonic())
             if reason == StopReason.CANCELLED:
                 self.engine.queue.mark_cancelled(slot.sub, result)
                 self.engine.metrics.record_cancelled()
@@ -514,6 +537,74 @@ class ArrayExecutor:
         other.optimizer = None
         other.state = ArrayState.DRAINED
         self.state = ArrayState.STEPPING
+
+    def detach_slots(self, indices: Sequence[int]) -> "ArrayExecutor":
+        """Preemption: split live slots out into their own paused executor.
+
+        The inverse of :meth:`merge_with`, built on the same re-fusion
+        primitives: the detached slots leave with their fused parameters,
+        buffers, per-slot optimizer state and progress counters moved
+        wholesale (``split_fused`` + ``split_optimizer``), so resuming the
+        detached executor later — alone, on another device, or merged into
+        a different array — continues training bit-exactly where it
+        stopped.  This is how the fleet preempts over-quota tenants: their
+        slots lose the fused width *now* (a deadline-at-risk job boards
+        it) but lose none of their training state.
+
+        Returns the detached executor (state STEPPING, fresh array id,
+        zeroed lifetime accounting — work done so far stays on this
+        array's record).  At least one slot must remain: preemption frees
+        width *within* a live array; draining it entirely would destroy
+        the very array the at-risk job needs to board.
+        """
+        moving = sorted(set(indices))
+        if not moving:
+            raise ValueError("detach_slots needs at least one slot")
+        if any(not 0 <= i < self.live_width for i in moving):
+            raise ValueError(f"slot indices {moving} out of range for "
+                             f"width {self.live_width}")
+        if len(moving) >= self.live_width:
+            raise ValueError("cannot detach every slot: preemption must "
+                             "leave a live array behind")
+        if self.state == ArrayState.PENDING:
+            self.prepare()
+        self.state = ArrayState.EVICTING
+
+        moved = [self.slots[i] for i in moving]
+        child_fused = split_fused(self.fused, moving)
+        child_opt = split_optimizer(self.optimizer,
+                                    child_fused.parameters(), moving)
+        child_cohort = Cohort(
+            signature=self.signature, infusible_values=(),
+            steps=max(slot.job.steps for slot in moved),
+            jobs=[slot.sub for slot in moved],
+            templates=[slot.template for slot in moved],
+            workload=self.workload)
+        child_plan = ArrayPlan(cohort=child_cohort,
+                               indices=list(range(len(moved))),
+                               width_cap=self.width_cap,
+                               device=self.device_name)
+        child = ArrayExecutor(engine=self.engine, plan=child_plan,
+                              array_id=self.engine._array_ids())
+        # carry the live training state across (the constructor built
+        # fresh slots; the originals keep progress/curves/preempt counts)
+        child.slots = moved
+        child.fused = child_fused
+        child.optimizer = child_opt
+        child.criterion = child._make_criterion(len(moved))
+        child.launch_width = len(moved)
+        child.state = ArrayState.STEPPING
+        for slot in moved:
+            slot.preemptions += 1
+
+        keep = [i for i in range(self.live_width) if i not in set(moving)]
+        self.fused = split_fused(self.fused, keep)
+        self.optimizer = split_optimizer(
+            self.optimizer, self.fused.parameters(), keep)
+        self.criterion = self._make_criterion(len(keep))
+        self.slots = [self.slots[i] for i in keep]
+        self.state = ArrayState.STEPPING
+        return child
 
     # ------------------------------------------------------------------ #
     def record(self) -> ArrayRecord:
@@ -698,7 +789,8 @@ class TrainingArrayEngine:
     # freed-width admission
     # ------------------------------------------------------------------ #
     def refill_from_queue(self, executor: ArrayExecutor,
-                          device_cap: Optional[int] = None) -> int:
+                          device_cap: Optional[int] = None,
+                          key: Optional[Callable] = None) -> int:
         """Admit compatible pending jobs into an executor's freed width.
 
         This is how freed capacity flows back to the scheduler between
@@ -708,6 +800,8 @@ class TrainingArrayEngine:
         target width — a stolen or re-placed executor may sit on a device
         with a smaller memory cap than the one its plan was sized for, and
         admission must never regrow the array past where it now runs.
+        ``key`` ranks the candidates (the gateway's fair-admission order:
+        deadline-at-risk first, then priority, then weighted fairness).
         Returns the number of jobs admitted.
         """
         freed = executor.freed_width
@@ -720,7 +814,7 @@ class TrainingArrayEngine:
             lambda sub: (not sub.solo and not sub.cancel_requested
                          and sub.job_id not in executor.admission_rejects
                          and self.batcher.admission_profile(sub) == profile),
-            max_jobs=freed)
+            max_jobs=freed, key=key)
         if not candidates:
             return 0
 

@@ -39,11 +39,13 @@ already evicted keep their checkpoints.
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..hfta.fusion import structural_signature
 from ..hwsim import DeviceSpec
 from .batcher import Batcher
 from .engine import ArrayExecutor, JobResult, TrainingArrayEngine
@@ -93,6 +95,19 @@ class FleetScheduler:
     merges under-filled stragglers across devices and re-places the merged
     array via the hwsim cost model.  Pass ``defrag=None`` to disable
     defragmentation while keeping eviction.
+
+    ``admission`` plugs a serving gateway's admission policy into the
+    scheduling loop (duck-typed so :mod:`repro.runtime.gateway` stays an
+    optional layer): ``rank(sub)`` orders dequeue/admission (smallest
+    first), ``now()`` reads the gateway clock for deadline-weighted
+    placement, ``at_risk(sub)`` flags jobs projected to miss their SLO,
+    and ``preemption_victims(executor, need)`` picks up to ``need`` slot
+    indices an at-risk job may take over (over-quota tenants, lowest
+    priority first).  With a policy installed, every dequeue becomes a
+    weighted-fair dequeue, cohorts are placed in SLO-slack order, and the
+    epoch-boundary hook may *preempt*: victims are detached into their own
+    executor (state moved wholesale, nothing lost) and requeued on the
+    worker while the at-risk job boards the freed width.
     """
 
     def __init__(self, devices: Sequence[DeviceSpec] = DEFAULT_FLEET,
@@ -104,7 +119,8 @@ class FleetScheduler:
                  default_workload: str = "pointnet_cls",
                  work_stealing: bool = True,
                  elastic: bool = True,
-                 defrag: Optional[DefragPolicy] = DefragPolicy()):
+                 defrag: Optional[DefragPolicy] = DefragPolicy(),
+                 admission=None):
         # `is not None`, not `or`: an empty JobQueue is falsy (__len__ == 0)
         self.queue = queue if queue is not None else JobQueue()
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
@@ -115,6 +131,12 @@ class FleetScheduler:
         self.work_stealing = work_stealing
         self.elastic = elastic
         self.defrag = defrag if elastic else None
+        self.admission = admission
+        #: custom placers predating deadline-weighted placement may not
+        #: accept the `now` keyword; detect once instead of crashing the
+        #: first gateway-driven cycle
+        self._placer_accepts_now = "now" in inspect.signature(
+            self.placer.place).parameters
         self._dispatch_lock = threading.Lock()
         self._id_lock = threading.Lock()
         self._next_array_id = 0
@@ -170,7 +192,9 @@ class FleetScheduler:
     # ------------------------------------------------------------------ #
     def run_cycle(self, max_jobs: int = 0) -> List[JobResult]:
         """Batch, place, and concurrently train one round of pending jobs."""
-        batch = self.queue.pop_pending(max_jobs)
+        policy = self.admission
+        batch = self.queue.pop_fair(
+            max_jobs, key=policy.rank if policy is not None else None)
         if not batch:
             return []
         cohorts, failures = self.batcher.form_cohorts(batch)
@@ -178,7 +202,14 @@ class FleetScheduler:
             self.queue.mark_failed(sub, error)
             self.metrics.record_failure()
 
-        for decision in self.placer.place(cohorts):
+        # only pass `now` with a policy installed and a placer that takes
+        # it: without a policy there is no gateway clock, and a custom
+        # placer with the legacy signature keeps working behind a gateway
+        # (it just skips SLO-slack ordering)
+        decisions = (self.placer.place(cohorts, now=policy.now())
+                     if policy is not None and self._placer_accepts_now
+                     else self.placer.place(cohorts))
+        for decision in decisions:
             self.workers[decision.device_name].plans.append(decision)
         return self._run_workers()
 
@@ -284,10 +315,12 @@ class FleetScheduler:
         # bounded by *this* device's memory cap — the executor may have
         # been stolen or re-placed onto a smaller device than its plan
         # was sized for
+        device_cap = self.placer.width_cap(
+            self.placer.resolve_workload(executor), worker.device)
         worker.engine.refill_from_queue(
-            executor,
-            device_cap=self.placer.width_cap(
-                self.placer.resolve_workload(executor), worker.device))
+            executor, device_cap=device_cap,
+            key=self.admission.rank if self.admission is not None else None)
+        self._preempt_for_deadlines(worker, executor, device_cap)
         if self.defrag is None:
             return None
 
@@ -302,6 +335,71 @@ class FleetScheduler:
         if absorbed:
             return self._replace(worker, executor)
         return self._maybe_pause(worker, executor)
+
+    def _preempt_for_deadlines(self, worker: DeviceWorker,
+                               executor: ArrayExecutor,
+                               device_cap: int) -> None:
+        """SLO enforcement: make room in a full array for at-risk jobs.
+
+        When deadline-at-risk queued jobs could legally board this array
+        (matching admission profile) but no freed width is left, the
+        admission policy nominates victim slots — over-quota tenants,
+        lowest priority first.  Victims are detached into their own
+        executor (:meth:`ArrayExecutor.detach_slots` moves their training
+        state wholesale, so they resume serially-equivalent) and requeued
+        on this worker behind the current array; the at-risk jobs are then
+        admitted into the width the victims vacated.
+        """
+        policy = self.admission
+        # the non-elastic guard is redundant today (_after_epoch bails out
+        # first) but load-bearing if this is ever called elsewhere: a
+        # static executor's freed_width is pinned to 0, so detaching
+        # victims could never seat the at-risk job
+        if policy is None or not executor.elastic or executor.solo \
+                or executor.done:
+            return
+        batcher = worker.engine.batcher
+        profile = executor.admission_profile
+        candidates = [sub for sub in self.queue.pending_jobs()
+                      if not sub.solo and not sub.cancel_requested
+                      and sub.job_id not in executor.admission_rejects
+                      and policy.at_risk(sub)
+                      and batcher.admission_profile(sub) == profile]
+        # confirm exact structure *before* nominating victims: the cheap
+        # profile has false positives, and detaching slots for a job that
+        # then fails structural admission would delay the victims for
+        # nothing (preemption is rare, so the extra template build is
+        # paid almost never; refill rebuilds it, but only on this path)
+        at_risk = []
+        for sub in candidates:
+            if sub.job_id not in executor.admission_confirms:
+                try:
+                    template = batcher.build_template(sub)
+                except Exception:  # noqa: BLE001 — job-provided builder
+                    continue       # refill will fail it properly later
+                if structural_signature(template) != \
+                        executor.structural_sig:
+                    executor.admission_rejects.add(sub.job_id)
+                    continue
+                executor.admission_confirms.add(sub.job_id)
+            at_risk.append(sub)
+        if not at_risk:
+            return
+        room = min(executor.freed_width,
+                   max(0, device_cap - executor.live_width))
+        need = len(at_risk) - room
+        if need <= 0:
+            return                  # freed width suffices; refill admits
+        victims = policy.preemption_victims(executor, need)
+        if not victims:
+            return
+        detached = executor.detach_slots(victims)
+        for slot in detached.slots:
+            self.metrics.record_preemption(slot.job.tenant)
+        with self._dispatch_lock:
+            worker.plans.append(detached)
+        worker.engine.refill_from_queue(executor, device_cap=device_cap,
+                                        key=policy.rank)
 
     def _pop_compatible(self, executor: ArrayExecutor,
                         worker: DeviceWorker) -> Optional[ArrayExecutor]:

@@ -88,6 +88,13 @@ class RuntimeMetrics:
         self.jobs_admitted = 0
         self.arrays_merged = 0
         self.arrays_replaced = 0
+        #: serving-gateway counters: jobs dropped by admission control
+        #: (rate limit / quota / backpressure) and slots preempted out of a
+        #: live array so a deadline-at-risk job could board
+        self.jobs_shed = 0
+        self.jobs_preempted = 0
+        #: tenant -> admission/SLO/consumption counters (see tenant_summary)
+        self._tenants: "Dict[str, Dict[str, float]]" = {}
         self.records: List[ArrayRecord] = []
         #: wall-clock seconds the fleet spent serving (devices concurrent),
         #: recorded by FleetScheduler.run_until_idle; 0 for the single-device
@@ -159,6 +166,71 @@ class RuntimeMetrics:
             self.plans_stolen += 1
 
     # ------------------------------------------------------------------ #
+    # per-tenant accounting (serving gateway)
+    # ------------------------------------------------------------------ #
+    _TENANT_KEYS = ("submitted", "admitted", "shed", "preempted",
+                    "slo_hits", "slo_misses", "slot_steps", "slot_seconds")
+
+    def _tenant(self, tenant: str) -> Dict[str, float]:
+        # caller holds self._lock
+        if tenant not in self._tenants:
+            self._tenants[tenant] = {k: 0.0 for k in self._TENANT_KEYS}
+        return self._tenants[tenant]
+
+    def record_tenant_request(self, tenant: str, admitted: bool) -> None:
+        """One gateway submission: admitted into the queue, or shed."""
+        with self._lock:
+            counters = self._tenant(tenant)
+            counters["submitted"] += 1
+            if admitted:
+                counters["admitted"] += 1
+            else:
+                counters["shed"] += 1
+                self.jobs_shed += 1
+
+    def record_shed(self, tenant: str) -> None:
+        """An *already queued* job dropped later (priority displacement).
+
+        The admitted counter only rolls back when this tenant was counted
+        admitted in the first place — a displaced job that entered the
+        queue without passing the gateway (legacy direct submission) must
+        not drive the ledger negative.
+        """
+        with self._lock:
+            counters = self._tenant(tenant)
+            if counters["admitted"] > 0:
+                counters["admitted"] -= 1
+            counters["shed"] += 1
+            self.jobs_shed += 1
+
+    def record_preemption(self, tenant: str, count: int = 1) -> None:
+        """Slots of ``tenant`` detached from a live array mid-training so a
+        deadline-at-risk job could take their fused width."""
+        with self._lock:
+            self._tenant(tenant)["preempted"] += count
+            self.jobs_preempted += count
+
+    def record_slo(self, tenant: str, hit: bool) -> None:
+        """A deadline-carrying job finished before (hit) or after (miss)
+        its SLO deadline."""
+        with self._lock:
+            self._tenant(tenant)["slo_hits" if hit else "slo_misses"] += 1
+
+    def record_tenant_usage(self,
+                            usage: Dict[str, Tuple[int, float]]) -> None:
+        """Fused-slot consumption for one epoch: ``usage`` maps tenant ->
+        ``(slot_steps, slot_seconds)``.  Slot-seconds attribute the epoch's
+        wall clock to every live slot (gang-stepping means each fused slot
+        occupies the device for the whole epoch), so a tenant's total is
+        the fused-slot-seconds its jobs consumed — the quantity gateway
+        quotas and fair shares are denominated in."""
+        with self._lock:
+            for tenant, (steps, seconds) in usage.items():
+                counters = self._tenant(tenant)
+                counters["slot_steps"] += steps
+                counters["slot_seconds"] += seconds
+
+    # ------------------------------------------------------------------ #
     # aggregates
     # ------------------------------------------------------------------ #
     @property
@@ -224,6 +296,47 @@ class RuntimeMetrics:
         if total == 0:
             return 1.0
         return self.slot_steps_occupied / total
+
+    # ------------------------------------------------------------------ #
+    # tenant aggregates (gateway-free runs bill the "default" tenant:
+    # every epoch records usage, so consumption is complete either way)
+    # ------------------------------------------------------------------ #
+    @property
+    def tenants(self) -> List[str]:
+        """Tenant names with any recorded activity, in first-use order."""
+        with self._lock:
+            return list(self._tenants)
+
+    def tenant_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant admission/SLO/consumption counters.
+
+        ``admit_rate`` is admitted over submitted requests, ``slo_rate``
+        is hits over deadline-carrying completions (1.0 when the tenant
+        never set a deadline — no SLO means no misses), ``slot_steps`` /
+        ``slot_seconds`` are the fused-slot resources actually consumed.
+        """
+        with self._lock:
+            summary: Dict[str, Dict[str, float]] = {}
+            for tenant, c in self._tenants.items():
+                slo_total = c["slo_hits"] + c["slo_misses"]
+                summary[tenant] = dict(
+                    c,
+                    admit_rate=(c["admitted"] / c["submitted"]
+                                if c["submitted"] else 1.0),
+                    slo_rate=(c["slo_hits"] / slo_total
+                              if slo_total else 1.0))
+            return summary
+
+    def tenant_report(self) -> Tuple[List[Tuple], Tuple[str, ...]]:
+        """Per-tenant rows + header, printable by the benchmark harness."""
+        header = ("tenant", "submitted", "admitted", "shed", "preempted",
+                  "slo_hits", "slo_misses", "slot_steps", "slot_seconds")
+        rows = [(name, int(s["submitted"]), int(s["admitted"]),
+                 int(s["shed"]), int(s["preempted"]), int(s["slo_hits"]),
+                 int(s["slo_misses"]), int(s["slot_steps"]),
+                 s["slot_seconds"])
+                for name, s in self.tenant_summary().items()]
+        return rows, header
 
     # ------------------------------------------------------------------ #
     # fleet aggregates (per-device counters; empty for single-device runs)
@@ -307,6 +420,8 @@ class RuntimeMetrics:
             "jobs_cancelled": self.jobs_cancelled,
             "jobs_evicted": self.jobs_evicted,
             "jobs_admitted": self.jobs_admitted,
+            "jobs_shed": self.jobs_shed,
+            "jobs_preempted": self.jobs_preempted,
             "arrays_launched": self.arrays_launched,
             "arrays_failed": self.arrays_failed,
             "arrays_merged": self.arrays_merged,

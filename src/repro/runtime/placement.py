@@ -128,6 +128,34 @@ class FleetPlacer:
         workload = get_workload(workload_hint or self.default_workload)
         return num_models <= self.width_cap(workload, device)
 
+    def projected_seconds(self, workload_hint: Optional[str],
+                          num_models: int, steps: int) -> float:
+        """Cost-model training time of a hypothetical array on its best
+        device — the serving gateway's SLO-slack input: a job is
+        *deadline-at-risk* when ``now + projected_seconds`` overruns its
+        deadline even on the device the fleet would ideally give it."""
+        _, est = self.replan(workload_hint, num_models, max(1, steps))
+        return est.train_seconds
+
+    def cohort_slack(self, cohort: Cohort, now: float) -> float:
+        """Seconds of SLO slack the cohort's most urgent job has left.
+
+        ``+inf`` for deadline-free cohorts; negative means at risk — the
+        cost model projects the job cannot meet its deadline even if
+        placed immediately on the ideal device.  Placement sorts cohorts
+        by this value, so deadline-at-risk work is placed first, while the
+        fleet is at its emptiest within the cycle.
+        """
+        deadlines = [sub.job.deadline_s for sub in cohort.jobs
+                     if sub.job.deadline_s is not None]
+        if not deadlines:
+            return float("inf")
+        # project the urgent job solo (width 1): the optimistic bound the
+        # at-risk check uses, and always placeable — the full cohort may be
+        # wider than any single device fits and get chunked anyway
+        projected = self.projected_seconds(cohort.workload, 1, cohort.steps)
+        return min(deadlines) - now - projected
+
     def replan(self, workload_hint: Optional[str], num_models: int,
                steps: int) -> Tuple[DeviceSpec, ArrayCostEstimate]:
         """Re-place a live array: the device projected to finish its
@@ -156,19 +184,29 @@ class FleetPlacer:
 
     # ------------------------------------------------------------------ #
     def place(self, cohorts: Sequence[Cohort],
-              load: Optional[Dict[str, float]] = None
-              ) -> List[PlacementDecision]:
+              load: Optional[Dict[str, float]] = None,
+              now: Optional[float] = None) -> List[PlacementDecision]:
         """Turn cohorts into device-assigned, width-sized array plans.
 
         ``load`` (device name -> projected busy seconds) carries queue
         depth across calls; within one call it accumulates, so the chunks
         of a split cohort and the arrays of later cohorts spread over the
         fleet instead of piling onto one device.
+
+        ``now`` (the gateway's clock reading) turns on deadline-weighted
+        placement: cohorts are placed in ascending :meth:`cohort_slack`
+        order, so SLO-carrying work picks its device before best-effort
+        work loads the fleet — the placement half of the gateway's
+        deadline machinery (the admission half is the fair dequeue, the
+        enforcement half is preemption).
         """
         load = load if load is not None else {}
         for device in self.devices:
             load.setdefault(device.name, 0.0)
 
+        if now is not None:
+            cohorts = sorted(cohorts,
+                             key=lambda c: self.cohort_slack(c, now))
         decisions: List[PlacementDecision] = []
         for cohort in cohorts:
             workload = self.resolve_workload(cohort)

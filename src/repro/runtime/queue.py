@@ -41,8 +41,9 @@ class JobState:
     COMPLETED = "completed"    # checkpoint exported, result available
     FAILED = "failed"          # the array (or validation) raised
     CANCELLED = "cancelled"    # caller cancelled; partial checkpoint if any
+    SHED = "shed"              # gateway backpressure dropped it pre-training
 
-    ALL = (QUEUED, SCHEDULED, RUNNING, COMPLETED, FAILED, CANCELLED)
+    ALL = (QUEUED, SCHEDULED, RUNNING, COMPLETED, FAILED, CANCELLED, SHED)
 
 
 #: ``build_model(num_models, generator)`` — returns an unfused model when
@@ -113,6 +114,26 @@ class TrainingJob:
         runtime's default infusible key set.
     user:
         Submitting user (accounting only; the runtime packs across users).
+    tenant:
+        Serving-gateway tenant the job bills to.  The gateway
+        (:mod:`repro.runtime.gateway`) enforces per-tenant quotas, rate
+        limits and weighted-fair admission on this key; the batcher packs
+        across tenants unless ``Batcher(tenant_isolation=True)``.
+    priority:
+        Admission priority class (higher = more important; ``None`` means
+        "inherit the tenant's class" at the gateway, and class 0
+        elsewhere — explicitly submitting ``priority=0`` under a
+        high-priority tenant deliberately deprioritizes the job).  Under
+        backpressure the gateway sheds the lowest-priority queued work
+        first, and the fair dequeue serves higher classes strictly before
+        lower ones.
+    deadline_s:
+        SLO deadline as an *absolute* clock reading (same clock as the
+        gateway's, default ``time.monotonic``).  ``None`` means best
+        effort.  A job whose projected completion (placement cost model)
+        overruns its deadline is *at risk*: it jumps the fair queue, its
+        cohort is placed first, and the fleet may preempt over-quota
+        tenants' slots to admit it.
     workload:
         Optional :mod:`repro.hwsim` workload name (``pointnet_cls``,
         ``dcgan``, ...) describing what this job looks like on real
@@ -131,6 +152,9 @@ class TrainingJob:
     loss: str = "cross_entropy"
     space: Optional[SearchSpace] = None
     user: str = "default"
+    tenant: str = "default"
+    priority: Optional[int] = None
+    deadline_s: Optional[float] = None
     workload: Optional[str] = None
     epoch_steps: int = 1
     target_loss: Optional[float] = None
@@ -204,27 +228,77 @@ class JobQueue:
                 sub.state = JobState.SCHEDULED
             return batch
 
+    def pop_fair(self, max_jobs: int = 0,
+                 key: Optional[Callable[[SubmittedJob], Tuple]] = None
+                 ) -> List[SubmittedJob]:
+        """Fair dequeue: like :meth:`pop_pending`, but the jobs taken (and
+        the order they are taken in) follow ``key`` — smallest first,
+        submission order breaking ties.  This is the serving gateway's
+        admission hook: its key ranks deadline-at-risk jobs first, then
+        priority classes, then tenants by weighted-fair virtual time.
+        Falls back to plain FIFO when ``key`` is ``None``.
+        """
+        if key is None:
+            return self.pop_pending(max_jobs)
+        with self._lock:
+            ranked = sorted(self._pending,
+                            key=lambda job_id: key(self._jobs[job_id]))
+            count = len(ranked) if max_jobs <= 0 else max_jobs
+            taken, left = ranked[:count], set(ranked[count:])
+            self._pending = [i for i in self._pending if i in left]
+            batch = [self._jobs[i] for i in taken]
+            for sub in batch:
+                sub.state = JobState.SCHEDULED
+            return batch
+
     def take_if(self, predicate: Callable[[SubmittedJob], bool],
-                max_jobs: int = 0) -> List[SubmittedJob]:
+                max_jobs: int = 0,
+                key: Optional[Callable[[SubmittedJob], Tuple]] = None
+                ) -> List[SubmittedJob]:
         """Dequeue up to ``max_jobs`` pending jobs satisfying ``predicate``.
 
         Non-matching jobs keep their queue positions.  This is the elastic
         runtime's *freed-width admission* path: when an executor evicts
         early-stopped slots, it pulls compatible pending jobs straight into
         the running array instead of waiting for the next scheduling cycle.
+        ``key`` ranks the candidates (smallest first) before the width
+        budget applies — the gateway uses it so deadline-at-risk jobs board
+        freed width before best-effort ones.
         """
         with self._lock:
+            order = self._pending
+            if key is not None:
+                order = sorted(order,
+                               key=lambda job_id: key(self._jobs[job_id]))
             taken: List[SubmittedJob] = []
-            kept: List[int] = []
-            for job_id in self._pending:
+            for job_id in order:
                 sub = self._jobs[job_id]
                 if (max_jobs <= 0 or len(taken) < max_jobs) and predicate(sub):
                     sub.state = JobState.SCHEDULED
                     taken.append(sub)
-                else:
-                    kept.append(job_id)
-            self._pending = kept
+            taken_ids = {sub.job_id for sub in taken}
+            self._pending = [i for i in self._pending if i not in taken_ids]
             return taken
+
+    def pending_jobs(self) -> List[SubmittedJob]:
+        """Snapshot of the queued (not yet scheduled) jobs, queue order."""
+        with self._lock:
+            return [self._jobs[i] for i in self._pending]
+
+    def shed(self, job_id: int) -> bool:
+        """Drop a still-queued job under backpressure (terminal SHED state).
+
+        Only queued jobs can be shed — once training starts the job owns
+        fused width and leaves through eviction, not load shedding.
+        Returns whether the job was actually shed.
+        """
+        with self._lock:
+            sub = self._jobs.get(job_id)
+            if sub is None or sub.state != JobState.QUEUED:
+                return False
+            self._pending.remove(job_id)
+            sub.state = JobState.SHED
+            return True
 
     def requeue(self, submitted: SubmittedJob) -> None:
         """Put a scheduled-but-untrained job back at the front of the queue."""
@@ -284,6 +358,10 @@ class JobQueue:
 
     def state(self, job_id: int) -> str:
         return self._jobs[job_id].state
+
+    def get(self, job_id: int) -> SubmittedJob:
+        """The submission record for ``job_id`` (gateway bookkeeping)."""
+        return self._jobs[job_id]
 
     def result(self, job_id: int) -> Any:
         sub = self._jobs[job_id]

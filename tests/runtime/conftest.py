@@ -1,0 +1,20 @@
+"""Shared fixtures for the runtime suite.
+
+The fleet tests run real worker threads; everything they assert is
+synchronized explicitly (barriers/events), never by sleeping.  The one
+remaining global hazard is code reaching the *unseeded* global RNGs —
+this autouse fixture pins them per test so any such path is reproducible
+across runs and interpreters (the job streams themselves already use
+``np.random.default_rng(seed)`` generators).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _seed_global_rngs():
+    np.random.seed(0)
+    random.seed(0)

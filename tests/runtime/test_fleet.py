@@ -14,6 +14,8 @@ Covers the fleet layer's contract:
 * idle devices steal fitting plans from backlogged ones.
 """
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -259,7 +261,17 @@ class TestFleetScheduler:
         assert len(retry_widths) >= 2
 
     def test_idle_device_steals_from_backlogged_device(self):
-        """All plans pinned to one device: the other must steal work."""
+        """All plans pinned to one device: the other must steal work.
+
+        Deflaked: instead of assuming the thief wins the race for the
+        backlog, the pinned device's *first* array blocks at its first
+        batch until the stolen array (the tail plan — stealing takes the
+        newest fitting item) reaches its own first batch, so the steal
+        provably happened while the victim was still busy.  A broken
+        stealing path leaves the barrier to time out and the
+        ``plans_stolen`` assertion to fail with a clear message — the
+        test degrades to a failure, never a hang.
+        """
         class PinningPlacer(FleetPlacer):
             def place(self, cohorts, load=None):
                 pinned = []
@@ -272,10 +284,33 @@ class TestFleetScheduler:
                         estimate=estimate))
                 return pinned
 
+        barrier = threading.Barrier(2, timeout=10.0)
+
+        def synced_stream(seed):
+            inner = stream(seed)
+
+            def data(step):
+                if step == 0:
+                    try:
+                        barrier.wait()
+                    except threading.BrokenBarrierError:
+                        pass
+                return inner(step)
+            return data
+
+        jobs = [make_job(i, hidden=8 + 2 * i) for i in range(8)]
+        # job 0 heads the victim's queue; job 7 is the tail plan a thief
+        # steals first — sync their first batches
+        for i in (0, 7):
+            jobs[i] = TrainingJob(
+                name=jobs[i].name, seed=i, steps=STEPS,
+                config=dict(jobs[i].config),
+                build_model=jobs[i].build_model,
+                data=synced_stream(1000 + i))
         fleet = FleetScheduler(
             devices=(V100, RTX6000),
             placer=PinningPlacer(devices=(V100, RTX6000), max_width=2))
-        fleet.submit_all([make_job(i, hidden=8 + 2 * i) for i in range(8)])
+        fleet.submit_all(jobs)
         results = fleet.run_until_idle()
 
         assert len(results) == 8

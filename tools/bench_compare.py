@@ -1,0 +1,241 @@
+"""Gate the bench trajectory: diff fresh perf artifacts against baselines.
+
+CI has uploaded ``BENCH_runtime.json`` (pytest-benchmark timings for the
+whole reproduction harness) and ``BENCH_elastic.json`` (the elastic
+runtime's machine-independent efficiency counters) since the fleet PR —
+but never compared them, so a regression in the paper's headline numbers
+could land silently.  This tool is the comparison, run by the CI
+``bench-gate`` job on every PR against the baselines committed under
+``benchmarks/baselines/``.
+
+Two artifact families, two comparison strategies:
+
+* **BENCH_elastic.json** is machine-independent (slot-step efficiency
+  ratios), so values are gated directly: each ``higher-is-better`` metric
+  must stay within ``threshold`` (default 15%) of its baseline.
+
+* **BENCH_runtime.json** is wall-clock timings, and CI runners are not
+  the machine the baseline was recorded on.  Raw means are therefore
+  *normalized by the suite's median fresh/baseline ratio* before gating:
+  a uniformly slower machine shifts every benchmark by the same factor
+  and the median divides it out, while a genuine regression moves its
+  benchmark against the rest of the suite and survives normalization.
+  Run-to-run jitter is roughly *absolute* (scheduler noise of tens of
+  milliseconds regardless of benchmark length), so each benchmark's
+  budget is ``1 + threshold + abs_slack / baseline_mean``: a 50 ms
+  benchmark gets enough slack to absorb jitter, while a 5 s benchmark is
+  held to essentially the bare 15%.  A benchmark beyond its budget fails
+  the gate, as does any baseline benchmark missing from the fresh run.
+
+Usage::
+
+    make bench BENCH_FLAGS="--benchmark-json=BENCH_runtime.json"
+    python tools/bench_compare.py                # gate both artifacts
+    python tools/bench_compare.py --threshold 0.10
+    python tools/bench_compare.py --update-baselines   # refresh + exit
+
+Exit status 0 = within budget, 1 = regression, 2 = artifacts missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
+ARTIFACTS = ("BENCH_runtime.json", "BENCH_elastic.json")
+
+#: BENCH_elastic.json metrics under gate; all are higher-is-better and
+#: machine-independent (ratios of deterministic slot-step counters)
+ELASTIC_METRICS = ("static_efficiency", "elastic_efficiency",
+                   "efficiency_gain", "serial_steps_saved")
+
+
+def load(path: Path) -> dict:
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def benchmark_means(doc: dict) -> "dict[str, float]":
+    """name -> mean seconds, from a pytest-benchmark JSON document."""
+    return {bench["name"]: bench["stats"]["mean"]
+            for bench in doc.get("benchmarks", [])}
+
+
+def compare_runtime(fresh: dict, baseline: dict, threshold: float,
+                    abs_slack: float, failures: list) -> list:
+    """Gate the timing artifact; returns printable rows."""
+    fresh_means = benchmark_means(fresh)
+    base_means = benchmark_means(baseline)
+
+    missing = sorted(set(base_means) - set(fresh_means))
+    for name in missing:
+        failures.append(f"benchmark disappeared from the fresh run: {name}")
+
+    common = sorted(set(base_means) & set(fresh_means))
+    if not common:
+        failures.append("no common benchmarks between fresh and baseline "
+                        "BENCH_runtime.json")
+        return []
+    ratios = {name: fresh_means[name] / base_means[name] for name in common
+              if base_means[name] > 0}
+    if not ratios:
+        failures.append("every baseline mean is zero — corrupt baseline "
+                        "BENCH_runtime.json")
+        return []
+    scale = statistics.median(ratios.values())
+    if scale <= 0:
+        failures.append(f"degenerate machine-speed scale {scale}")
+        return []
+
+    rows = []
+    for name in common:
+        if name not in ratios:
+            failures.append(f"{name}: baseline mean is zero (corrupt "
+                            f"baseline entry)")
+            continue
+        normalized = ratios[name] / scale
+        # absolute-jitter allowance: scheduler noise does not scale with
+        # benchmark length, so short benchmarks get proportionally more
+        # slack and long ones are held to the bare threshold
+        budget = 1.0 + threshold + abs_slack / base_means[name]
+        verdict = "ok"
+        if normalized > budget:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{name}: normalized mean {normalized:.3f}x baseline "
+                f"(budget {budget:.2f}x; raw {ratios[name]:.3f}x, "
+                f"machine scale {scale:.3f}x)")
+        rows.append((name, base_means[name], fresh_means[name],
+                     normalized, verdict))
+    return rows
+
+
+def compare_elastic(fresh: dict, baseline: dict, threshold: float,
+                    failures: list) -> list:
+    """Gate the machine-independent efficiency artifact."""
+    rows = []
+    for metric in ELASTIC_METRICS:
+        if metric not in baseline:
+            continue
+        base = float(baseline[metric])
+        if metric not in fresh:
+            failures.append(f"BENCH_elastic.json lost metric '{metric}'")
+            continue
+        value = float(fresh[metric])
+        floor = base * (1.0 - threshold)
+        verdict = "ok"
+        if value < floor:
+            verdict = "REGRESSED"
+            failures.append(
+                f"elastic metric '{metric}': {value:.4f} < floor "
+                f"{floor:.4f} (baseline {base:.4f}, -{threshold:.0%})")
+        rows.append((metric, base, value, value / base if base else 0.0,
+                     verdict))
+    return rows
+
+
+def print_rows(title: str, rows: list, headers: tuple) -> None:
+    if not rows:
+        return
+    print(f"\n{title}")
+    widths = [max(len(str(headers[i])),
+                  *(len(f"{row[i]:.4f}" if isinstance(row[i], float)
+                        else str(row[i])) for row in rows))
+              for i in range(len(headers))]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(
+            (f"{v:.4f}" if isinstance(v, float) else str(v)).ljust(w)
+            for v, w in zip(row, widths)))
+
+
+def update_baselines(fresh_dir: Path) -> int:
+    BASELINE_DIR.mkdir(parents=True, exist_ok=True)
+    for name in ARTIFACTS:
+        source = fresh_dir / name
+        if not source.exists():
+            print(f"cannot refresh baselines: {source} missing "
+                  f"(run `make bench` first)", file=sys.stderr)
+            return 2
+        shutil.copy(source, BASELINE_DIR / name)
+        print(f"baseline refreshed: {BASELINE_DIR / name}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff fresh bench artifacts against committed "
+                    "baselines; non-zero exit on regression.")
+    parser.add_argument("--fresh-dir", type=Path, default=REPO_ROOT,
+                        help="directory holding the fresh BENCH_*.json "
+                             "(default: repo root, where `make bench` "
+                             "writes them)")
+    parser.add_argument("--baseline-dir", type=Path, default=BASELINE_DIR,
+                        help="committed baselines (default: "
+                             "benchmarks/baselines/)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed relative regression (default 0.15 "
+                             "= 15%%)")
+    parser.add_argument("--abs-slack", type=float, default=0.05,
+                        help="absolute timing-jitter allowance in seconds, "
+                             "added to each benchmark's budget as "
+                             "abs_slack/baseline_mean (default 0.05)")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="copy the fresh artifacts over the committed "
+                             "baselines and exit")
+    args = parser.parse_args(argv)
+
+    if args.update_baselines:
+        return update_baselines(args.fresh_dir)
+
+    failures: list = []
+    for name in ARTIFACTS:
+        fresh_path = args.fresh_dir / name
+        base_path = args.baseline_dir / name
+        if not base_path.exists():
+            print(f"no committed baseline {base_path}; "
+                  f"run --update-baselines", file=sys.stderr)
+            return 2
+        if not fresh_path.exists():
+            print(f"fresh artifact {fresh_path} missing; run `make bench "
+                  f"BENCH_FLAGS=--benchmark-json=BENCH_runtime.json`",
+                  file=sys.stderr)
+            return 2
+
+    runtime_rows = compare_runtime(load(args.fresh_dir / ARTIFACTS[0]),
+                                   load(args.baseline_dir / ARTIFACTS[0]),
+                                   args.threshold, args.abs_slack,
+                                   failures)
+    elastic_rows = compare_elastic(load(args.fresh_dir / ARTIFACTS[1]),
+                                   load(args.baseline_dir / ARTIFACTS[1]),
+                                   args.threshold, failures)
+
+    print_rows("BENCH_runtime.json (normalized by median machine scale)",
+               runtime_rows,
+               ("benchmark", "base_mean_s", "fresh_mean_s",
+                "normalized", "verdict"))
+    print_rows("BENCH_elastic.json (machine-independent)", elastic_rows,
+               ("metric", "baseline", "fresh", "ratio", "verdict"))
+
+    if failures:
+        print(f"\nbench-gate: {len(failures)} regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench-gate: all benchmarks within {args.threshold:.0%} of "
+          f"the committed baselines "
+          f"({len(runtime_rows)} timed, {len(elastic_rows)} elastic).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Line-coverage gate for the runtime package (`make coverage`).
+
+Two modes, mirroring `make lint`'s installed-vs-offline split:
+
+* **coverage.py mode** (CI): `make coverage` first runs
+  ``pytest --cov=repro --cov-report=json:coverage.json`` (pytest-cov /
+  coverage.py), then this tool parses the JSON report and gates the
+  aggregate line coverage of ``src/repro/runtime/`` at ``--min`` percent.
+
+* **fallback mode** (``--fallback``; this repo's build container cannot
+  pip-install): the stdlib :mod:`trace` module runs the runtime test
+  suite in-process, then executed lines are compared against the
+  executable lines discovered by walking each module's compiled code
+  objects (``co_lines``).  Slightly more generous than coverage.py —
+  docstring/def lines count as executed on import — which is fine for a
+  fallback whose job is catching wholesale-untested code, not decorating
+  a dashboard.
+
+Usage::
+
+    python tools/coverage_gate.py --coverage-json coverage.json --min 80
+    python tools/coverage_gate.py --fallback --min 80
+
+Exit status 0 = gate met, 1 = coverage below the bar, 2 = bad inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import trace
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKAGE = Path("src/repro/runtime")
+FALLBACK_TESTS = ["-q", "-p", "no:cacheprovider",
+                  "tests/runtime", "tests/test_fusion_roundtrip.py"]
+
+
+def gate(per_file: "dict[str, tuple[int, int]]", minimum: float) -> int:
+    """Print the per-file table and enforce the aggregate bar.
+
+    ``per_file`` maps a repo-relative path to (covered, executable).
+    """
+    if not per_file:
+        print(f"coverage gate: no files measured under {PACKAGE}",
+              file=sys.stderr)
+        return 2
+    total_covered = sum(c for c, _ in per_file.values())
+    total_lines = sum(n for _, n in per_file.values())
+    width = max(len(name) for name in per_file)
+    print(f"\nLine coverage of {PACKAGE}/:")
+    for name in sorted(per_file):
+        covered, lines = per_file[name]
+        pct = 100.0 * covered / lines if lines else 100.0
+        print(f"  {name.ljust(width)}  {covered:5d}/{lines:<5d} "
+              f"{pct:6.1f}%")
+    total_pct = 100.0 * total_covered / total_lines if total_lines else 100.0
+    print(f"  {'TOTAL'.ljust(width)}  {total_covered:5d}/{total_lines:<5d} "
+          f"{total_pct:6.1f}%   (gate: >= {minimum:.0f}%)")
+    if total_pct < minimum:
+        print(f"\ncoverage gate FAILED: {total_pct:.1f}% < {minimum:.0f}% "
+              f"for {PACKAGE}/", file=sys.stderr)
+        return 1
+    print("\ncoverage gate passed.")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# coverage.py JSON mode
+# --------------------------------------------------------------------- #
+def from_coverage_json(report: Path, minimum: float) -> int:
+    try:
+        doc = json.loads(report.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read coverage report {report}: {exc}",
+              file=sys.stderr)
+        return 2
+    per_file = {}
+    for name, data in doc.get("files", {}).items():
+        path = Path(name)
+        try:
+            relative = path.resolve().relative_to(REPO_ROOT)
+        except ValueError:
+            relative = path
+        if not str(relative).startswith(str(PACKAGE)):
+            continue
+        summary = data["summary"]
+        per_file[str(relative)] = (
+            int(summary["covered_lines"]), int(summary["num_statements"]))
+    return gate(per_file, minimum)
+
+
+# --------------------------------------------------------------------- #
+# stdlib-trace fallback mode
+# --------------------------------------------------------------------- #
+def executable_lines(path: Path) -> "set[int]":
+    """Line numbers carrying code, from the compiled code-object tree."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: "set[int]" = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        lines.update(line for _, _, line in obj.co_lines()
+                     if line is not None)
+        stack.extend(const for const in obj.co_consts
+                     if isinstance(const, type(code)))
+    return lines
+
+
+def from_fallback(minimum: float) -> int:
+    try:
+        import pytest
+    except ImportError:
+        print("fallback coverage needs pytest", file=sys.stderr)
+        return 2
+    print(f"coverage.py not installed; tracing {FALLBACK_TESTS[-2:]} with "
+          f"the stdlib trace module (slower, import-liberal)")
+    tracer = trace.Trace(count=1, trace=0,
+                         ignoredirs=[sys.prefix, sys.exec_prefix])
+    # Trace.runfunc only hooks the calling thread; the fleet scheduler
+    # trains on worker threads, so hook thread creation too or fleet.py
+    # reads as untested
+    import threading
+    threading.settrace(tracer.globaltrace)
+    try:
+        exit_code = tracer.runfunc(pytest.main, list(FALLBACK_TESTS))
+    finally:
+        threading.settrace(None)
+    if exit_code != 0:
+        print(f"test run under trace failed (exit {exit_code})",
+              file=sys.stderr)
+        return 2
+
+    counts = tracer.results().counts
+    executed: "dict[Path, set[int]]" = {}
+    for (filename, lineno), _ in counts.items():
+        executed.setdefault(Path(filename).resolve(), set()).add(lineno)
+
+    per_file = {}
+    for module in sorted((REPO_ROOT / PACKAGE).glob("*.py")):
+        lines = executable_lines(module)
+        hit = executed.get(module.resolve(), set()) & lines
+        per_file[str(module.relative_to(REPO_ROOT))] = (len(hit),
+                                                        len(lines))
+    return gate(per_file, minimum)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate src/repro/runtime line coverage.")
+    parser.add_argument("--coverage-json", type=Path,
+                        help="coverage.py JSON report to gate")
+    parser.add_argument("--fallback", action="store_true",
+                        help="measure with the stdlib trace module "
+                             "(no coverage.py required)")
+    parser.add_argument("--min", type=float, default=80.0,
+                        help="minimum aggregate line coverage percent "
+                             "(default 80)")
+    args = parser.parse_args(argv)
+    if args.fallback:
+        return from_fallback(args.min)
+    if args.coverage_json is not None:
+        return from_coverage_json(args.coverage_json, args.min)
+    parser.error("pass --coverage-json REPORT or --fallback")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
