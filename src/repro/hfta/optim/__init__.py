@@ -14,10 +14,10 @@ from .lr_scheduler import (FusedLRScheduler, StepLR, ExponentialLR,
                            CosineAnnealingLR)
 from .utils import coerce_hyperparam, broadcastable
 from .elastic import (split_optimizer, merge_optimizers, snapshot_optimizer,
-                      restore_optimizer)
+                      restore_optimizer, export_slot_state, load_slot_state)
 
 __all__ = ["FusedOptimizer", "Adam", "AdamW", "Adadelta", "SGD",
            "FusedLRScheduler", "StepLR", "ExponentialLR", "CosineAnnealingLR",
            "coerce_hyperparam", "broadcastable",
            "split_optimizer", "merge_optimizers", "snapshot_optimizer",
-           "restore_optimizer"]
+           "restore_optimizer", "export_slot_state", "load_slot_state"]

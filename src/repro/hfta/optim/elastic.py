@@ -32,7 +32,7 @@ from .optimizer import FusedOptimizer
 from .utils import coerce_hyperparam
 
 __all__ = ["split_optimizer", "merge_optimizers", "snapshot_optimizer",
-           "restore_optimizer"]
+           "restore_optimizer", "export_slot_state", "load_slot_state"]
 
 
 def _check_fully_fused(optimizer: FusedOptimizer, op: str) -> None:
@@ -217,6 +217,84 @@ def _zeros_like_state(present, present_width: int, missing_width: int):
     raise ValueError(
         "cannot merge: one array has scalar optimizer state the other "
         "lacks; scalar state cannot be synthesized per slot")
+
+
+def export_slot_state(optimizer: FusedOptimizer, index: int
+                      ) -> Dict[int, Dict[str, np.ndarray]]:
+    """One slot's optimizer state, sliced out of a fused optimizer.
+
+    Returns ``{parameter position: {state key: per-slot array}}`` in the
+    optimizer's flat parameter order — the per-slot analogue of
+    :func:`snapshot_optimizer`, and the payload the durable checkpoint
+    layer (:mod:`repro.runtime.checkpoint`) persists per job.  Every array
+    is a *copy* of the slot's slice (Adam's moments shaped like the
+    parameter without the leading array dimension; the per-model step
+    counter as a 0-d array), so the export stays valid after the live
+    optimizer keeps stepping.  Parameters that have not accumulated state
+    yet (the optimizer initializes lazily on first step) are absent from
+    the result — loading an absent entry is a no-op, matching lazy
+    initialization exactly.
+    """
+    _check_fully_fused(optimizer, "export_slot_state")
+    if not 0 <= index < optimizer.num_models:
+        raise ValueError(f"slot index {index} out of range for "
+                         f"num_models={optimizer.num_models}")
+    out: Dict[int, Dict[str, np.ndarray]] = {}
+    for pos, param in enumerate(_flat_params(optimizer)):
+        st = optimizer.state.get(id(param))
+        if not st:
+            continue
+        slot: Dict[str, np.ndarray] = {}
+        for key, value in st.items():
+            if not _is_per_model(value, optimizer.num_models):
+                raise ValueError(
+                    f"cannot export slot state '{key}': not a per-model "
+                    f"array (shape {np.shape(value)}); scalar state cannot "
+                    f"be attributed to one slot")
+            slot[key] = np.copy(value[index])
+        out[pos] = slot
+    return out
+
+
+def load_slot_state(optimizer: FusedOptimizer, index: int,
+                    state: Dict[int, Dict[str, np.ndarray]]) -> None:
+    """Write an :func:`export_slot_state` capture into slot ``index``.
+
+    The inverse operation, used when a checkpointed job *resumes* inside a
+    freshly built fused array: the new optimizer starts with lazy (empty)
+    state, and the resumed slot's moments/step counter are injected at its
+    new position.  State entries are materialized as zeros for the whole
+    array first — zeros are exactly the lazy initialization every fused
+    optimizer uses (see :func:`merge_optimizers`), so cohort-mates that
+    never stepped remain bit-identical to an optimizer that was never
+    touched, while the resumed slot continues bit-exactly where its
+    checkpoint left it.
+    """
+    _check_fully_fused(optimizer, "load_slot_state")
+    if not 0 <= index < optimizer.num_models:
+        raise ValueError(f"slot index {index} out of range for "
+                         f"num_models={optimizer.num_models}")
+    params = _flat_params(optimizer)
+    for pos, slot in state.items():
+        pos = int(pos)
+        if not 0 <= pos < len(params):
+            raise ValueError(f"parameter position {pos} out of range for "
+                             f"{len(params)} parameters")
+        param = params[pos]
+        st = optimizer.state.setdefault(id(param), {})
+        for key, value in slot.items():
+            value = np.asarray(value)
+            if key not in st:
+                st[key] = np.zeros(
+                    (optimizer.num_models,) + value.shape, dtype=value.dtype)
+            target = st[key]
+            if not _is_per_model(target, optimizer.num_models) or \
+                    target.shape[1:] != value.shape:
+                raise ValueError(
+                    f"slot state '{key}' has shape {value.shape}, optimizer "
+                    f"state has {np.shape(target)} (expected "
+                    f"[{optimizer.num_models}] + {value.shape})")
+            target[index] = value
 
 
 def snapshot_optimizer(optimizer: FusedOptimizer) -> Dict:

@@ -38,7 +38,15 @@ of a shared accelerator:
 * :mod:`repro.runtime.gateway` — the multi-tenant front door: per-tenant
   token-bucket rate limits and quotas, weighted-fair + priority
   admission, SLO deadlines driving placement order and eviction-based
-  preemption, bounded-queue backpressure with shed/retry-after.
+  preemption, bounded-queue backpressure with shed/retry-after;
+* :mod:`repro.runtime.checkpoint` — durability: a content-addressed,
+  atomic :class:`~repro.runtime.checkpoint.CheckpointStore` for per-slot
+  training state (model weights + per-slot optimizer state + progress)
+  and a write-ahead-log
+  :class:`~repro.runtime.checkpoint.RecoveryManager` that journals
+  admissions/lifecycle transitions and rebuilds a fleet from disk after
+  a crash — recovered jobs resume bit-exactly from their last
+  checkpoint.
 
 Quickstart (single device)::
 
@@ -60,13 +68,16 @@ Fleet scale::
     results = fleet.run_until_idle()      # same JobResult contract
     rows, header = fleet.metrics.fleet_report()   # per-device counters
 
-See ``docs/architecture.md`` (sections "The runtime layer" and "The fleet
-layer") for the full data-flow diagram and design rationale, and
-``examples/runtime_serving.py`` / ``examples/fleet_serving.py`` for
+See ``docs/architecture.md`` for the full data-flow diagram and the map
+of the documentation tree (``docs/runtime.md``, ``docs/elasticity.md``,
+``docs/gateway.md``, ``docs/checkpointing.md``, ``docs/operations.md``,
+``docs/api.md``), and ``examples/runtime_serving.py`` /
+``examples/fleet_serving.py`` / ``examples/crash_recovery.py`` for
 end-to-end serving sessions.
 """
 
-from .queue import JobState, TrainingJob, SubmittedJob, JobQueue
+from .queue import (JobState, TrainingJob, SubmittedJob, JobQueue,
+                    ResumeState)
 from .batcher import Batcher, Cohort, DEFAULT_INFUSIBLE_KEYS
 from .policy import ArrayPlan, ArrayPolicy
 from .engine import (ArrayExecutor, ArrayState, JobResult, StopReason,
@@ -74,18 +85,21 @@ from .engine import (ArrayExecutor, ArrayState, JobResult, StopReason,
 from .metrics import ArrayRecord, RuntimeMetrics
 from .placement import (DEFAULT_FLEET, DefragPolicy, FleetPlacer,
                         PlacementDecision)
+from .checkpoint import (CheckpointStore, RecoveryManager, SlotCheckpoint,
+                         WriteReceipt)
 from .fleet import DeviceWorker, FleetScheduler
 from .gateway import (AdmissionTicket, ServingGateway, ShedReason,
                       TenantSpec)
 
 __all__ = [
-    "JobState", "TrainingJob", "SubmittedJob", "JobQueue",
+    "JobState", "TrainingJob", "SubmittedJob", "JobQueue", "ResumeState",
     "Batcher", "Cohort", "DEFAULT_INFUSIBLE_KEYS",
     "ArrayPlan", "ArrayPolicy",
     "ArrayExecutor", "ArrayState", "JobResult", "StopReason",
     "TrainingArrayEngine",
     "ArrayRecord", "RuntimeMetrics",
     "DEFAULT_FLEET", "DefragPolicy", "FleetPlacer", "PlacementDecision",
+    "CheckpointStore", "RecoveryManager", "SlotCheckpoint", "WriteReceipt",
     "DeviceWorker", "FleetScheduler",
     "AdmissionTicket", "ServingGateway", "ShedReason", "TenantSpec",
 ]

@@ -65,6 +65,7 @@ class Cohort:
 
     @property
     def num_models(self) -> int:
+        """The cohort's width: how many models would fuse into one array."""
         return len(self.jobs)
 
 
@@ -107,9 +108,20 @@ class Batcher:
 
     @staticmethod
     def build_template(sub: SubmittedJob) -> Module:
-        """Instantiate the job's seeded, unfused template model."""
+        """Instantiate the job's seeded, unfused template model.
+
+        A job carrying a durable-checkpoint resume payload
+        (:attr:`SubmittedJob.resume`) gets its template seeded from the
+        checkpointed weights instead of fresh initialization — the fused
+        array it next boards then starts the slot exactly where the
+        checkpoint left it (the optimizer half is injected by the
+        executor, see :meth:`ArrayExecutor.prepare`).
+        """
         generator = np.random.default_rng(sub.job.seed)
-        return sub.job.build_model(None, generator)
+        template = sub.job.build_model(None, generator)
+        if sub.resume is not None and sub.resume.model_state:
+            template.load_state_dict(sub.resume.model_state)
+        return template
 
     def admission_profile(self, sub: SubmittedJob) -> Tuple:
         """The cheap (template-free) part of a job's fusibility key.

@@ -55,9 +55,11 @@ from ..hfta import losses as fused_losses
 from ..hfta import optim as fused_optim
 from ..hfta.fusion import export_to_unfused, load_from_unfused, merge_fused, \
     split_fused, structural_signature, validate_fusibility
-from ..hfta.optim.elastic import merge_optimizers, split_optimizer
+from ..hfta.optim.elastic import export_slot_state, load_slot_state, \
+    merge_optimizers, split_optimizer
 from ..nn.modules.module import Module
 from .batcher import Batcher, Cohort
+from .checkpoint import CheckpointStore, RecoveryManager
 from .metrics import ArrayRecord, RuntimeMetrics
 from .policy import ArrayPlan, ArrayPolicy
 from .queue import JobQueue, JobState, SubmittedJob, TrainingJob
@@ -257,10 +259,12 @@ class ArrayExecutor:
     # ------------------------------------------------------------------ #
     @property
     def done(self) -> bool:
+        """Whether the array drained (no live slots remain)."""
         return self.state == ArrayState.DRAINED
 
     @property
     def live_width(self) -> int:
+        """How many slots currently train inside this array."""
         return len(self.slots)
 
     @property
@@ -312,13 +316,92 @@ class ArrayExecutor:
         self.optimizer = make_fused_optimizer(
             fused, [slot.job.config for slot in self.slots], self.live_width)
         self.criterion = self._make_criterion(self.live_width)
+        # durable-checkpoint resume: the templates already carry the
+        # checkpointed weights (Batcher.build_template); inject the
+        # optimizer half and fast-forward the progress counters so each
+        # resumed slot continues at its exact global step index
+        for index, slot in enumerate(self.slots):
+            self._apply_resume(index, slot)
         self.state = ArrayState.FUSED
+        self._journal("launch")
 
     def _make_criterion(self, num_models: int):
         if self.loss_key not in _CRITERIA:
             raise ValueError(f"unknown loss '{self.loss_key}'; choose from "
                              f"{sorted(_CRITERIA)}")
         return _CRITERIA[self.loss_key](num_models)
+
+    # ------------------------------------------------------------------ #
+    # durability: resume application, per-slot persistence, journaling
+    # ------------------------------------------------------------------ #
+    def _apply_resume(self, index: int, slot: _Slot) -> None:
+        """Fast-forward a freshly fused slot to its durable checkpoint."""
+        resume = slot.sub.resume
+        if resume is None or slot.progress >= resume.progress:
+            return
+        load_slot_state(self.optimizer, index, resume.optimizer_state)
+        slot.progress = resume.progress
+        slot.curve = list(resume.loss_curve)
+        self.max_progress = max(self.max_progress, slot.progress)
+
+    def _provenance(self, index: int) -> Dict:
+        """The fused-array context a checkpoint is taken in (manifests)."""
+        return {"array_id": self.array_id, "slot": index,
+                "live_width": self.live_width,
+                "launch_width": self.launch_width,
+                "device": self.device_name, "signature": self.signature,
+                "epoch": self.epochs}
+
+    def _persist_slot(self, index: int, slot: _Slot,
+                      model_state: Optional[Dict] = None,
+                      final: bool = False,
+                      stop_reason: Optional[str] = None) -> None:
+        """Write one slot's state to the engine's checkpoint store.
+
+        A failed write is counted and swallowed: losing one epoch of
+        durability must not take a healthy array down with it.
+        """
+        store = self.engine.store
+        if store is None:
+            return
+        try:
+            if model_state is None:
+                model_state = export_to_unfused(
+                    self.fused, index, slot.template).state_dict()
+            receipt = store.save_slot(
+                job_id=slot.sub.job_id, job=slot.job,
+                progress=slot.progress, loss_curve=slot.curve,
+                model_state=model_state,
+                optimizer_state=export_slot_state(self.optimizer, index),
+                provenance=self._provenance(index),
+                final=final, stop_reason=stop_reason)
+        except Exception:  # noqa: BLE001 — durability is best-effort
+            self.engine.metrics.record_checkpoint_failure()
+            return
+        self.engine.metrics.record_checkpoint(
+            receipt.payload_bytes, receipt.written_bytes, receipt.seconds)
+
+    def _checkpoint_live_slots(self) -> None:
+        """The ``checkpoint_every`` hook: persist every live slot when the
+        epoch counter crosses a checkpoint boundary."""
+        every = self.engine.checkpoint_every
+        if self.engine.store is None or every <= 0 or not self.slots \
+                or self.epochs % every != 0:
+            return
+        for index, slot in enumerate(self.slots):
+            self._persist_slot(index, slot)
+
+    def _journal(self, event: str, **extra) -> None:
+        recovery = self.engine.recovery
+        if recovery is None:
+            return
+        recovery.journal_array(
+            event, self.array_id, self.device_name,
+            [slot.sub.job_id for slot in self.slots], **extra)
+
+    def _journal_state(self, job_id: int, state: str) -> None:
+        if self.engine.recovery is not None:
+            self.engine.recovery.journal_state(job_id, state)
 
     # ------------------------------------------------------------------ #
     # STEPPING
@@ -375,7 +458,13 @@ class ArrayExecutor:
                                       prev[1] + epoch_seconds)
         self.engine.metrics.record_tenant_usage(usage)
 
-        return self._retire_finished()
+        retired = self._retire_finished()
+        # durability hook: retiring slots were persisted (final) by
+        # _retire_finished when persist_on_evict is set; the survivors
+        # reach the store at the checkpoint_every cadence, after the
+        # narrowing split so indices match the live array
+        self._checkpoint_live_slots()
+        return retired
 
     def _stop_reason(self, slot: _Slot) -> Optional[str]:
         # budget first: a slot with no steps left must always retire as
@@ -429,12 +518,20 @@ class ArrayExecutor:
                 evicted=bool(keep) or reason != StopReason.BUDGET,
                 preemptions=slot.preemptions,
                 finished_at=time.monotonic())
+            if self.engine.persist_on_evict:
+                # the exported checkpoint doubles as the final durable
+                # state — a restart after this point replays nothing
+                self._persist_slot(index, slot,
+                                   model_state=checkpoint.state_dict(),
+                                   final=True, stop_reason=reason)
             if reason == StopReason.CANCELLED:
                 self.engine.queue.mark_cancelled(slot.sub, result)
                 self.engine.metrics.record_cancelled()
+                self._journal_state(slot.sub.job_id, JobState.CANCELLED)
             else:
                 self.engine.queue.mark_completed(slot.sub, result)
                 self.jobs_served += 1
+                self._journal_state(slot.sub.job_id, JobState.COMPLETED)
             retired.append(result)
         self._deliver(retired)
 
@@ -452,9 +549,11 @@ class ArrayExecutor:
             self.criterion = self._make_criterion(len(keep))
             self.slots = [self.slots[i] for i in keep]
             self.state = ArrayState.STEPPING
+            self._journal("evict", retired=[r.job_id for r in retired])
         else:
             self.slots = []
             self.state = ArrayState.DRAINED
+            self._journal("drain", retired=[r.job_id for r in retired])
         return retired
 
     # ------------------------------------------------------------------ #
@@ -477,6 +576,7 @@ class ArrayExecutor:
             raise ValueError(f"cannot admit {width} jobs into freed width "
                              f"{self.freed_width}")
         self.state = ArrayState.MERGING
+        base = self.live_width
         sub_model = subs[0].job.build_model(width, None)
         load_from_unfused(sub_model, templates)
         sub_opt = make_fused_optimizer(
@@ -493,9 +593,16 @@ class ArrayExecutor:
         for sub, template in zip(subs, templates):
             self.engine.queue.mark_running(sub)
             self.slots.append(_Slot(sub=sub, template=template))
+        # a recovering job may board freed width like any other pending
+        # job; its template already holds the checkpointed weights, its
+        # optimizer slice and progress counter land here
+        for offset, slot in enumerate(self.slots[base:]):
+            self._apply_resume(base + offset, slot)
         self.admissions += width
         self.engine.metrics.record_admission(width)
         self.state = ArrayState.STEPPING
+        self._journal("admit",
+                      admitted=[sub.job_id for sub in subs])
 
     def merge_with(self, other: "ArrayExecutor") -> None:
         """Absorb a paused straggler executor (fleet defragmentation).
@@ -537,6 +644,7 @@ class ArrayExecutor:
         other.optimizer = None
         other.state = ArrayState.DRAINED
         self.state = ArrayState.STEPPING
+        self._journal("merge", absorbed_array=other.array_id)
 
     def detach_slots(self, indices: Sequence[int]) -> "ArrayExecutor":
         """Preemption: split live slots out into their own paused executor.
@@ -638,6 +746,15 @@ class TrainingArrayEngine:
     engine reproduces the old run-to-completion behavior — every job trains
     its full budget at its array's launch width — which is the baseline the
     elastic utilization benchmark measures against.
+
+    Durability (:mod:`repro.runtime.checkpoint`): with a ``store``
+    attached, every live slot is persisted at the ``checkpoint_every``
+    epoch cadence (0 disables cadence checkpoints) and every retiring
+    slot's final checkpoint is persisted when ``persist_on_evict`` is set;
+    a ``recovery`` manager additionally journals array lifecycle
+    transitions and terminal job states to the write-ahead log.  A failing
+    multi-job array's quarantined jobs then retry *from their last durable
+    checkpoint* instead of step 0 (quarantine-then-recover).
     """
 
     def __init__(self, policy: Optional[ArrayPolicy] = None,
@@ -646,7 +763,11 @@ class TrainingArrayEngine:
                  queue: Optional[JobQueue] = None,
                  device=None,
                  array_ids: Optional[Callable[[], int]] = None,
-                 elastic: bool = True):
+                 elastic: bool = True,
+                 store: Optional[CheckpointStore] = None,
+                 checkpoint_every: int = 0,
+                 persist_on_evict: bool = True,
+                 recovery: Optional[RecoveryManager] = None):
         # `is not None`, not `or`: an empty JobQueue is falsy (__len__ == 0),
         # and a fleet passes its shared-but-empty queue at construction time
         self.queue = queue if queue is not None else JobQueue()
@@ -656,6 +777,15 @@ class TrainingArrayEngine:
         self.device = device
         self.device_name = getattr(device, "name", "") if device else ""
         self.elastic = elastic
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        self.store = store
+        self.checkpoint_every = checkpoint_every
+        # persist_on_evict is inert without a store; keeping it True by
+        # default means attaching a store is the single switch that makes
+        # every completed job durable
+        self.persist_on_evict = persist_on_evict
+        self.recovery = recovery
         self._array_ids = array_ids or self._private_array_ids
         self._next_array_id = 0
         self._id_lock = threading.Lock()
@@ -676,6 +806,7 @@ class TrainingArrayEngine:
         return job_id
 
     def submit_all(self, jobs: Sequence[TrainingJob]) -> List[int]:
+        """Accept a batch of jobs; returns their ids in submission order."""
         return [self.submit(job) for job in jobs]
 
     def cancel(self, job_id: int) -> bool:
@@ -702,6 +833,8 @@ class TrainingArrayEngine:
         for sub, error in failures:
             self.queue.mark_failed(sub, error)
             self.metrics.record_failure()
+            if self.recovery is not None:
+                self.recovery.journal_state(sub.job_id, JobState.FAILED)
 
         results: List[JobResult] = []
         for plan in self.policy.plan(cohorts):
@@ -770,10 +903,17 @@ class TrainingArrayEngine:
             if len(live) > 1:
                 for sub in reversed(live):
                     sub.solo = True
+                    # quarantine-then-recover: the solo retry resumes from
+                    # the job's last durable checkpoint when one exists,
+                    # instead of retraining from step 0
+                    self._refresh_resume(sub)
                     self.queue.requeue(sub)
             else:
                 for sub in live:
                     self.queue.mark_failed(sub, str(exc))
+                    if self.recovery is not None:
+                        self.recovery.journal_state(sub.job_id,
+                                                    JobState.FAILED)
                 self.metrics.record_failure(len(live))
             if executor.jobs_served > 0 or executor.slot_steps_total > 0:
                 # the array did real work before failing: jobs already
@@ -784,6 +924,26 @@ class TrainingArrayEngine:
             return executor.take_results()
         self.metrics.record_array(executor.record())
         return executor.take_results()
+
+    def _refresh_resume(self, sub: SubmittedJob) -> None:
+        """Attach the job's latest durable checkpoint as its resume
+        payload if it is ahead of whatever the job already carries."""
+        if self.store is None:
+            return
+        try:
+            manifest = self.store.manifest(sub.job_id)
+            if manifest is None:
+                return
+            current = sub.resume.progress if sub.resume is not None else 0
+            if manifest["progress"] <= current:
+                return
+            checkpoint = self.store.load_slot(sub.job_id)
+            if checkpoint is None:
+                return
+            sub.resume = checkpoint.resume_state()
+        except Exception:  # noqa: BLE001 — recovery is best-effort here
+            return
+        self.metrics.record_recovery()
 
     # ------------------------------------------------------------------ #
     # freed-width admission
@@ -826,6 +986,8 @@ class TrainingArrayEngine:
             except Exception as exc:  # noqa: BLE001 — job-provided builder
                 self.queue.mark_failed(sub, f"build_model failed: {exc}")
                 self.metrics.record_failure()
+                if self.recovery is not None:
+                    self.recovery.journal_state(sub.job_id, JobState.FAILED)
                 continue
             if structural_signature(template) != executor.structural_sig:
                 # same cheap profile, different structure: remember the

@@ -48,6 +48,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 from ..hfta.fusion import structural_signature
 from ..hwsim import DeviceSpec
 from .batcher import Batcher
+from .checkpoint import CheckpointStore, RecoveryManager
 from .engine import ArrayExecutor, JobResult, TrainingArrayEngine
 from .metrics import RuntimeMetrics
 from .placement import (DEFAULT_FLEET, DefragPolicy, FleetPlacer,
@@ -71,6 +72,7 @@ class DeviceWorker:
 
     @property
     def name(self) -> str:
+        """The worker's device name (its key in the fleet's tables)."""
         return self.device.name
 
 
@@ -120,7 +122,12 @@ class FleetScheduler:
                  work_stealing: bool = True,
                  elastic: bool = True,
                  defrag: Optional[DefragPolicy] = DefragPolicy(),
-                 admission=None):
+                 admission=None,
+                 store: Optional[CheckpointStore] = None,
+                 checkpoint_every: int = 0,
+                 persist_on_evict: bool = True,
+                 recovery: Optional[RecoveryManager] = None,
+                 quarantine_cycles: int = 1):
         # `is not None`, not `or`: an empty JobQueue is falsy (__len__ == 0)
         self.queue = queue if queue is not None else JobQueue()
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
@@ -132,6 +139,14 @@ class FleetScheduler:
         self.elastic = elastic
         self.defrag = defrag if elastic else None
         self.admission = admission
+        #: durable-checkpoint layer (repro.runtime.checkpoint): shared by
+        #: every per-device engine; `recovery` additionally journals
+        #: admissions (see submit) and lifecycle transitions to the WAL
+        self.store = store
+        self.recovery = recovery
+        if quarantine_cycles < 1:
+            raise ValueError("quarantine_cycles must be >= 1")
+        self.quarantine_cycles = quarantine_cycles
         #: custom placers predating deadline-weighted placement may not
         #: accept the `now` keyword; detect once instead of crashing the
         #: first gateway-driven cycle
@@ -151,12 +166,28 @@ class FleetScheduler:
         #: only targets live workers, so a migrated executor can never
         #: strand in a queue nobody reads anymore
         self._live_workers: set = set()
+        #: crash detection: worker name -> executor it is currently
+        #: running.  Registered before run_executor, cleared after it
+        #: returns — a thread that dies mid-array (a real crash bypasses
+        #: every except-Exception handler) leaves its entry behind, and
+        #: _run_workers finds it after join() (see _recover_crashed)
+        self._inflight: Dict[str, ArrayExecutor] = {}
+        #: worker name -> last heartbeat (time.monotonic), touched at
+        #: every work-item pickup and epoch boundary; stalled_workers()
+        #: is the operator-facing liveness probe built on it
+        self.heartbeats: Dict[str, float] = {}
+        #: device name -> cycles it remains quarantined after a crash:
+        #: placement avoids it and no worker thread is started for it
+        #: until the counter expires (quarantine-then-recover)
+        self._quarantined: Dict[str, int] = {}
         self.workers: Dict[str, DeviceWorker] = {}
         for device in self.placer.devices:
             engine = TrainingArrayEngine(
                 queue=self.queue, metrics=self.metrics, device=device,
                 batcher=self.batcher, array_ids=self._allocate_array_id,
-                elastic=elastic)
+                elastic=elastic, store=store,
+                checkpoint_every=checkpoint_every,
+                persist_on_evict=persist_on_evict, recovery=recovery)
             self.workers[device.name] = DeviceWorker(device, engine)
 
     def _allocate_array_id(self) -> int:
@@ -169,12 +200,21 @@ class FleetScheduler:
     # submission (same surface as the single-device engine)
     # ------------------------------------------------------------------ #
     def submit(self, job: TrainingJob) -> int:
-        """Accept a job for the next scheduling cycle; returns its id."""
+        """Accept a job for the next scheduling cycle; returns its id.
+
+        With a :class:`RecoveryManager` attached the admission is also
+        journaled to the write-ahead log, which is what makes the job
+        recoverable: a restart re-queues every journaled-but-unsettled
+        job (see :meth:`RecoveryManager.rebuild_fleet`).
+        """
         job_id = self.queue.submit(job)
         self.metrics.record_submit()
+        if self.recovery is not None:
+            self.recovery.journal_admission(job_id, job)
         return job_id
 
     def submit_all(self, jobs: Sequence[TrainingJob]) -> List[int]:
+        """Accept a batch of jobs; returns their ids in submission order."""
         return [self.submit(job) for job in jobs]
 
     def cancel(self, job_id: int) -> bool:
@@ -185,6 +225,8 @@ class FleetScheduler:
         cancelled = self.queue.cancel(job_id)
         if cancelled and self.queue.state(job_id) == JobState.CANCELLED:
             self.metrics.record_cancelled()
+            if self.recovery is not None:
+                self.recovery.journal_state(job_id, JobState.CANCELLED)
         return cancelled
 
     # ------------------------------------------------------------------ #
@@ -201,6 +243,8 @@ class FleetScheduler:
         for sub, error in failures:
             self.queue.mark_failed(sub, error)
             self.metrics.record_failure()
+            if self.recovery is not None:
+                self.recovery.journal_state(sub.job_id, JobState.FAILED)
 
         # only pass `now` with a policy installed and a placer that takes
         # it: without a policy there is no gateway clock, and a custom
@@ -209,7 +253,19 @@ class FleetScheduler:
         decisions = (self.placer.place(cohorts, now=policy.now())
                      if policy is not None and self._placer_accepts_now
                      else self.placer.place(cohorts))
+        with self._dispatch_lock:
+            quarantined = set(self._quarantined)
         for decision in decisions:
+            if decision.device_name in quarantined:
+                # a quarantined (recently crashed) device takes no new
+                # work until its quarantine expires; re-cost the plan for
+                # the least-loaded healthy device instead
+                fallback = min(
+                    (w for name, w in self.workers.items()
+                     if name not in quarantined),
+                    key=lambda w: len(w.plans), default=None)
+                if fallback is not None:
+                    decision = self._reroute(decision, fallback)
             self.workers[decision.device_name].plans.append(decision)
         return self._run_workers()
 
@@ -232,18 +288,45 @@ class FleetScheduler:
     # the worker pool
     # ------------------------------------------------------------------ #
     def _run_workers(self) -> List[JobResult]:
-        """Drain every device's work queue on its own thread, then join."""
+        """Drain every device's work queue on its own thread, then join.
+
+        Quarantined devices get no thread this cycle (their queued plans
+        were re-routed at placement; stragglers are stolen).  After the
+        join, workers whose in-flight registration was never cleared are
+        *crashed*: their thread died without unwinding through the
+        engine's failure isolation (a simulated hard kill, or a bug below
+        every handler), so their in-memory array state is untrusted — the
+        jobs are recovered from the durable checkpoint store instead
+        (:meth:`_recover_crashed`).
+        """
         results: List[JobResult] = []
         results_lock = threading.Lock()
-        self._live_workers = set(self.workers)
+        with self._dispatch_lock:
+            # expiring quarantines tick down one cycle at a time; if every
+            # device is quarantined, lift them all — the fleet must make
+            # progress even after a correlated crash
+            if self._quarantined and \
+                    len(self._quarantined) >= len(self.workers):
+                self._quarantined.clear()
+            healthy = {name: worker for name, worker in self.workers.items()
+                       if name not in self._quarantined}
+        self._live_workers = set(healthy)
         threads = [threading.Thread(target=self._worker_loop, name=name,
                                     args=(worker, results, results_lock),
                                     daemon=True)
-                   for name, worker in self.workers.items()]
+                   for name, worker in healthy.items()]
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join()
+        with self._dispatch_lock:
+            for name in list(self._quarantined):
+                self._quarantined[name] -= 1
+                if self._quarantined[name] <= 0:
+                    del self._quarantined[name]
+            crashed, self._inflight = dict(self._inflight), {}
+        for name, executor in crashed.items():
+            self._recover_crashed(name, executor)
         # Belt and braces: the pausing and re-placement protocols guarantee
         # nothing outlives the cycle (a worker's _take checks the pool
         # before giving up, and migration only targets live workers), but a
@@ -253,6 +336,50 @@ class FleetScheduler:
                 next(iter(self.workers.values()))
             results.extend(worker.engine.run_executor(executor))
         return results
+
+    def _recover_crashed(self, name: str, executor: ArrayExecutor) -> None:
+        """Quarantine a crashed worker's device and recover its jobs.
+
+        The dead thread's in-memory training state is mid-epoch and
+        untrusted; the durable store is the source of truth.  Every slot
+        that was still live is re-queued — with its latest checkpoint
+        attached as a resume payload when one exists (quarantine-then-
+        recover), from scratch otherwise (the job loses at most
+        ``checkpoint_every`` epochs of work, never its correctness: the
+        resumed run stays serial-equivalent).  The device is quarantined
+        for ``quarantine_cycles`` scheduling cycles and its undispatched
+        plans move to healthy workers.
+        """
+        self.metrics.record_worker_crash()
+        worker = self.workers[name]
+        with self._dispatch_lock:
+            self._quarantined[name] = self.quarantine_cycles
+            stranded = list(worker.plans)
+            worker.plans.clear()
+            fallbacks = [w for n, w in self.workers.items()
+                         if n not in self._quarantined]
+        for item in stranded:
+            target = min(fallbacks, key=lambda w: len(w.plans),
+                         default=None)
+            if target is None:
+                worker.plans.append(item)      # all quarantined: keep; the
+                continue                       # lift-all rule will run it
+            if isinstance(item, PlacementDecision):
+                item = self._reroute(item, target)
+            else:
+                item.device_name = target.name
+            target.plans.append(item)
+        live = [slot.sub for slot in executor.slots
+                if slot.sub.state in (JobState.SCHEDULED, JobState.RUNNING)]
+        if self.recovery is not None:
+            self.recovery.journal_array(
+                "crash", executor.array_id, name,
+                [sub.job_id for sub in live])
+        # requeue inserts at the front — reversed() preserves slot order,
+        # so the recovered cohort re-fuses in the original slot layout
+        for sub in reversed(live):
+            worker.engine._refresh_resume(sub)
+            self.queue.requeue(sub)
 
     def _flush_orphans(self) -> List[ArrayExecutor]:
         with self._dispatch_lock:
@@ -270,6 +397,7 @@ class FleetScheduler:
     def _worker_loop(self, worker: DeviceWorker, results: List[JobResult],
                      results_lock: threading.Lock) -> None:
         while True:
+            self.heartbeats[worker.name] = time.monotonic()
             item = self._take(worker)
             if item is None:
                 return
@@ -281,9 +409,15 @@ class FleetScheduler:
             key = executor.compat_key
             with self._dispatch_lock:
                 self._stepping[key] = self._stepping.get(key, 0) + 1
+                self._inflight[worker.name] = executor
             # run_executor contains its own failure isolation (quarantine
             # requeue); anything it does raise must not kill the thread and
-            # stall join() of a healthy fleet — record and move on.
+            # stall join() of a healthy fleet — record and move on.  A
+            # *crash* (BaseException — a simulated hard kill) passes both
+            # handlers and terminates the thread: the finally still
+            # releases the stepping slot, but the _inflight entry below is
+            # deliberately cleared only on the normal path, which is how
+            # _run_workers tells a crash from a drained worker.
             try:
                 out = worker.engine.run_executor(
                     executor,
@@ -295,6 +429,8 @@ class FleetScheduler:
                 with self._dispatch_lock:
                     if not executor.paused:
                         self._stepping[key] -= 1
+            with self._dispatch_lock:
+                self._inflight.pop(worker.name, None)
             with results_lock:
                 results.extend(out)
 
@@ -308,6 +444,7 @@ class FleetScheduler:
         Returns ``"detach"`` when the executor left this thread (paused
         into the pool, or re-placed onto another device after a merge).
         """
+        self.heartbeats[worker.name] = time.monotonic()
         if not self.elastic:
             return None
         # freed-width admission from the shared queue (emits freed
@@ -502,12 +639,44 @@ class FleetScheduler:
             self._live_workers.discard(worker.name)
             return None
 
+    def _reroute(self, decision: PlacementDecision,
+                 worker: DeviceWorker) -> PlacementDecision:
+        """Re-cost a plan for a device other than the one it was placed
+        on (quarantine fallback, crashed-worker plan migration)."""
+        estimate = self.placer.estimate(decision.plan, worker.device)
+        decision.plan.device = worker.name
+        decision.plan.projected_seconds = estimate.train_seconds
+        return PlacementDecision(plan=decision.plan, device=worker.device,
+                                 estimate=estimate)
+
     def _retag(self, decision: PlacementDecision,
                thief: DeviceWorker) -> PlacementDecision:
         """Re-cost a stolen plan for the device that will actually run it."""
-        estimate = self.placer.estimate(decision.plan, thief.device)
-        decision.plan.device = thief.name
-        decision.plan.projected_seconds = estimate.train_seconds
         self.metrics.record_steal()
-        return PlacementDecision(plan=decision.plan, device=thief.device,
-                                 estimate=estimate)
+        return self._reroute(decision, thief)
+
+    # ------------------------------------------------------------------ #
+    # liveness introspection (the operator-facing monitoring surface)
+    # ------------------------------------------------------------------ #
+    def stalled_workers(self, timeout: float) -> List[str]:
+        """Workers holding an in-flight array whose last heartbeat is
+        older than ``timeout`` seconds.
+
+        Heartbeats are touched at every work-item pickup and epoch
+        boundary, so a healthy worker's age stays on the order of one
+        epoch.  A stalled worker is either wedged (a hung data stream) or
+        dead; either way its jobs' durable checkpoints are intact, and
+        the post-cycle crash sweep (or a process restart through
+        :meth:`RecoveryManager.rebuild_fleet`) recovers them — see
+        ``docs/operations.md`` for the runbook.
+        """
+        now = time.monotonic()
+        with self._dispatch_lock:
+            inflight = dict(self._inflight)
+        return [name for name in inflight
+                if now - self.heartbeats.get(name, now) > timeout]
+
+    def quarantined_devices(self) -> List[str]:
+        """Devices currently quarantined after a crash (no new work)."""
+        with self._dispatch_lock:
+            return sorted(self._quarantined)

@@ -212,6 +212,12 @@ class ServingGateway:
         self.queue = self.fleet.queue
         self.metrics = self.fleet.metrics
         self.placer = self.fleet.placer
+        #: the fleet's RecoveryManager (None without durability).  The
+        #: fleet journals every admission as it enters the queue; the
+        #: gateway adds the terminal transitions it owns (displacement
+        #: sheds, settlement) and replays unsettled admissions on restart
+        #: (see replay_unsettled)
+        self.recovery = self.fleet.recovery
         #: guards the admission state below: submissions may arrive from
         #: any thread (including fleet worker threads, via job callbacks),
         #: and token buckets / virtual times / the tracking table are all
@@ -325,6 +331,7 @@ class ServingGateway:
 
     def submit_all(self, jobs: Sequence[TrainingJob],
                    tenant: Optional[str] = None) -> List[AdmissionTicket]:
+        """Admit a batch of jobs; one ticket per job, submission order."""
         return [self.submit(job, tenant=tenant) for job in jobs]
 
     def _projected_solo_seconds(self, job: TrainingJob) -> float:
@@ -352,12 +359,16 @@ class ServingGateway:
         if not self.queue.shed(victim.job_id):
             return False
         self.metrics.record_shed(victim.job.tenant)
+        if self.recovery is not None:
+            self.recovery.journal_state(victim.job_id, JobState.SHED)
         return True
 
     # ------------------------------------------------------------------ #
     # the fleet's admission-policy protocol
     # ------------------------------------------------------------------ #
     def now(self) -> float:
+        """The gateway clock (the fleet reads it for deadline-weighted
+        placement; injectable for deterministic tests)."""
         return self.clock()
 
     def at_risk(self, sub: SubmittedJob) -> bool:
@@ -462,8 +473,64 @@ class ServingGateway:
         results = self.fleet.run_until_idle()
         for result in results.values():
             self._settle_slo(result)
+        if self.recovery is not None:
+            # close out the write-ahead log: every terminal job is settled
+            # so a restart replays only work that was genuinely in flight
+            # (journal_state deduplicates repeated transitions)
+            terminal = (JobState.COMPLETED, JobState.FAILED,
+                        JobState.CANCELLED, JobState.SHED)
+            for sub in self.queue.jobs():
+                if sub.state in terminal:
+                    self.recovery.journal_state(sub.job_id, sub.state)
         self._prune_tracked()
         return results
+
+    def replay_unsettled(self, jobs_by_name: Dict[str, TrainingJob]
+                         ) -> List[AdmissionTicket]:
+        """Re-admit every journaled-but-unsettled admission (restart path).
+
+        The serving analogue of :meth:`RecoveryManager.rebuild_fleet`:
+        after a crash, a fresh gateway (same tenants, a fleet wired to the
+        same store/recovery manager) calls this with the restarting
+        application's job definitions keyed by name.  Each unsettled
+        admission is re-queued with its journaled serving contract —
+        tenant, priority class and *absolute* SLO deadline — intact, its
+        latest durable checkpoint attached as a resume payload, and its
+        weighted-fair virtual time re-billed so fairness holds in the new
+        session.  Replays bypass the admission funnel (rate limit, quota,
+        backpressure): the work was already admitted once and the tenant
+        must not pay for it twice.  Jobs whose name has no registered
+        builder are skipped (journaled as ``unrecovered``).
+        """
+        if self.recovery is None:
+            raise RuntimeError("replay_unsettled needs a RecoveryManager "
+                               "(pass recovery=... to the fleet)")
+        tickets: List[AdmissionTicket] = []
+        with self._lock:
+            replayed = self.recovery.replay_unsettled_jobs(
+                jobs_by_name, self.fleet.submit)
+            for record, job, job_id, resume in replayed:
+                if resume is not None:
+                    self.queue.get(job_id).resume = resume
+                    self.metrics.record_recovery()
+                # re-bill the gateway-side bookkeeping the shared replay
+                # loop cannot know about: weighted-fair virtual time and
+                # the SLO tracking table
+                spec = self.tenant(job.tenant)
+                now = self.clock()
+                self._vtime[spec.name] = \
+                    self._vtime.get(spec.name, 0.0) + job.steps / spec.weight
+                self._tracked[job_id] = _Tracked(
+                    sub=self.queue.get(job_id), tenant=spec.name,
+                    steps=job.steps, vtime=self._vtime[spec.name],
+                    deadline=job.deadline_s,
+                    projected=self._projected_solo_seconds(job),
+                    clock_offset=time.monotonic() - now)
+                self.metrics.record_replay()
+                tickets.append(AdmissionTicket(
+                    tenant=spec.name, admitted=True, job_id=job_id,
+                    deadline=job.deadline_s))
+        return tickets
 
     def _prune_tracked(self) -> None:
         """Drop bookkeeping for settled terminal jobs, so a long-lived

@@ -53,6 +53,7 @@ class ArrayRecord:
 
     @property
     def occupancy(self) -> float:
+        """Fraction of the permitted width the array actually filled."""
         return self.num_models / self.width_cap
 
     @property
@@ -93,6 +94,19 @@ class RuntimeMetrics:
         #: live array so a deadline-at-risk job could board
         self.jobs_shed = 0
         self.jobs_preempted = 0
+        #: durability counters (repro.runtime.checkpoint): per-slot
+        #: checkpoints persisted, their serialized/deduplicated byte
+        #: volumes and cumulative write latency, plus the recovery side —
+        #: jobs resumed from a durable checkpoint, worker threads detected
+        #: dead mid-array, and gateway admissions replayed after a restart
+        self.checkpoints_written = 0
+        self.checkpoint_payload_bytes = 0
+        self.checkpoint_bytes_written = 0
+        self.checkpoint_seconds = 0.0
+        self.checkpoint_failures = 0
+        self.jobs_recovered = 0
+        self.workers_crashed = 0
+        self.admissions_replayed = 0
         #: tenant -> admission/SLO/consumption counters (see tenant_summary)
         self._tenants: "Dict[str, Dict[str, float]]" = {}
         self.records: List[ArrayRecord] = []
@@ -108,10 +122,12 @@ class RuntimeMetrics:
     # recording
     # ------------------------------------------------------------------ #
     def record_submit(self, count: int = 1) -> None:
+        """Jobs accepted into the intake queue."""
         with self._lock:
             self.jobs_submitted += count
 
     def record_array(self, record: ArrayRecord) -> None:
+        """A drained array's lifetime record (credits its completions)."""
         with self._lock:
             self.records.append(record)
             # jobs_served is the elastic count (evicted + drained, not
@@ -122,6 +138,7 @@ class RuntimeMetrics:
                                     else record.num_models)
 
     def record_failure(self, count: int = 1) -> None:
+        """Jobs that reached the terminal FAILED state."""
         with self._lock:
             self.jobs_failed += count
 
@@ -164,6 +181,45 @@ class RuntimeMetrics:
         """An idle device stole a plan from another device's queue."""
         with self._lock:
             self.plans_stolen += 1
+
+    # ------------------------------------------------------------------ #
+    # durability (checkpointing and crash recovery)
+    # ------------------------------------------------------------------ #
+    def record_checkpoint(self, payload_bytes: int, written_bytes: int,
+                          seconds: float) -> None:
+        """One per-slot checkpoint persisted: serialized payload size,
+        bytes that actually hit disk (0 when content-addressing
+        deduplicated every object), and the write latency."""
+        with self._lock:
+            self.checkpoints_written += 1
+            self.checkpoint_payload_bytes += payload_bytes
+            self.checkpoint_bytes_written += written_bytes
+            self.checkpoint_seconds += seconds
+
+    def record_checkpoint_failure(self) -> None:
+        """A checkpoint write raised (training continued; durability of
+        that epoch was lost)."""
+        with self._lock:
+            self.checkpoint_failures += 1
+
+    def record_recovery(self, count: int = 1) -> None:
+        """Jobs re-queued with a durable checkpoint attached instead of
+        restarting from step 0 (crash recovery / quarantine retry)."""
+        with self._lock:
+            self.jobs_recovered += count
+
+    def record_worker_crash(self) -> None:
+        """A fleet worker thread died mid-array (heartbeat lost, executor
+        never drained); its device is quarantined and its jobs recovered."""
+        with self._lock:
+            self.workers_crashed += 1
+
+    def record_replay(self, count: int = 1) -> None:
+        """Gateway admissions replayed from the write-ahead log after a
+        restart (the jobs were admitted before the crash and never
+        settled)."""
+        with self._lock:
+            self.admissions_replayed += count
 
     # ------------------------------------------------------------------ #
     # per-tenant accounting (serving gateway)
@@ -235,10 +291,12 @@ class RuntimeMetrics:
     # ------------------------------------------------------------------ #
     @property
     def arrays_launched(self) -> int:
+        """Fused arrays that completed and recorded their accounting."""
         return len(self.records)
 
     @property
     def fused_steps(self) -> int:
+        """Gang-scheduled training steps summed across all arrays."""
         return sum(r.steps for r in self.records)
 
     @property
@@ -248,10 +306,13 @@ class RuntimeMetrics:
 
     @property
     def samples_processed(self) -> int:
+        """Training samples consumed across all arrays (all models)."""
         return sum(r.samples for r in self.records)
 
     @property
     def train_seconds(self) -> float:
+        """Summed per-array wall-clock training time (not fleet wall
+        time — see :attr:`aggregate_throughput` for that)."""
         return sum(r.seconds for r in self.records)
 
     @property
@@ -277,10 +338,12 @@ class RuntimeMetrics:
 
     @property
     def slot_steps_total(self) -> int:
+        """Physically executed slot-steps across all arrays."""
         return sum(r.slot_steps_total for r in self.records)
 
     @property
     def slot_steps_occupied(self) -> int:
+        """Slot-steps spent on live (useful) jobs across all arrays."""
         return sum(r.slot_steps_occupied for r in self.records)
 
     @property
@@ -413,6 +476,8 @@ class RuntimeMetrics:
     # reporting
     # ------------------------------------------------------------------ #
     def as_dict(self) -> Dict[str, float]:
+        """Every aggregate counter as one flat dict (the scrape surface
+        a monitoring system ingests; see docs/operations.md)."""
         return {
             "jobs_submitted": self.jobs_submitted,
             "jobs_completed": self.jobs_completed,
@@ -436,6 +501,14 @@ class RuntimeMetrics:
             "throughput_samples_per_s": self.throughput,
             "wall_seconds": self.wall_seconds,
             "plans_stolen": self.plans_stolen,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_payload_bytes": self.checkpoint_payload_bytes,
+            "checkpoint_bytes_written": self.checkpoint_bytes_written,
+            "checkpoint_seconds": self.checkpoint_seconds,
+            "checkpoint_failures": self.checkpoint_failures,
+            "jobs_recovered": self.jobs_recovered,
+            "workers_crashed": self.workers_crashed,
+            "admissions_replayed": self.admissions_replayed,
             "aggregate_throughput_samples_per_s": self.aggregate_throughput,
             "simulated_aggregate_throughput": (
                 self.simulated_aggregate_throughput),

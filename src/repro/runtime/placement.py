@@ -55,14 +55,17 @@ class PlacementDecision:
 
     @property
     def device_name(self) -> str:
+        """The assigned device's name (the worker queue this plan joins)."""
         return self.device.name
 
     @property
     def projected_seconds(self) -> float:
+        """Cost-model training time of the array on its device."""
         return self.estimate.train_seconds
 
     @property
     def projected_throughput(self) -> float:
+        """Cost-model training throughput (samples/s) of the array."""
         return self.estimate.throughput
 
 

@@ -48,6 +48,7 @@ class ArrayPlan:
 
     @property
     def jobs(self) -> List[SubmittedJob]:
+        """The plan's submissions (the selected slice of its cohort)."""
         return [self.cohort.jobs[i] for i in self.indices]
 
     @property
@@ -57,10 +58,12 @@ class ArrayPlan:
 
     @property
     def templates(self):
+        """The selected jobs' instantiated serial template models."""
         return [self.cohort.templates[i] for i in self.indices]
 
     @property
     def num_models(self) -> int:
+        """The array width this plan launches at."""
         return len(self.indices)
 
     @property
@@ -70,6 +73,7 @@ class ArrayPlan:
 
     @property
     def steps(self) -> int:
+        """The cohort's gang-scheduled step budget."""
         return self.cohort.steps
 
 

@@ -29,7 +29,8 @@ import numpy as np
 from ..hfht.space import SearchSpace, Value
 from ..nn.modules.module import Module
 
-__all__ = ["JobState", "TrainingJob", "SubmittedJob", "JobQueue"]
+__all__ = ["JobState", "TrainingJob", "SubmittedJob", "JobQueue",
+           "ResumeState"]
 
 
 class JobState:
@@ -170,6 +171,41 @@ class TrainingJob:
 
 
 @dataclass
+class ResumeState:
+    """Durable training state a job resumes from (crash recovery).
+
+    Produced by the checkpoint layer (:mod:`repro.runtime.checkpoint`)
+    from a persisted per-slot manifest and attached to a
+    :class:`SubmittedJob` before it is (re)queued.  The executor applies
+    it when the job boards a fused array: the template model is seeded
+    from ``model_state`` instead of fresh initialization, the slot's
+    per-model optimizer state is injected via
+    :func:`repro.hfta.optim.elastic.load_slot_state`, and the slot's
+    progress counter starts at ``progress`` — so the job's private data
+    stream continues at the exact global step index where the checkpoint
+    was taken, and the final checkpoint stays serial-equivalent.
+
+    The payload is deliberately *array-shape agnostic*: ``model_state``
+    is the job's own unfused state dict and ``optimizer_state`` its own
+    per-slot slice, so a job checkpointed in one fused array (width 6,
+    slot 4) can resume in a completely different one (width 2, slot 0) —
+    the provenance of the source array lives in ``source`` for
+    accounting, not for restore-time layout.
+    """
+
+    progress: int                             # steps already trained
+    loss_curve: List[float] = field(default_factory=list)
+    #: unfused ``Module.state_dict()`` of the job's model at ``progress``
+    model_state: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: per-slot optimizer state (see
+    #: :func:`repro.hfta.optim.elastic.export_slot_state`)
+    optimizer_state: Dict[int, Dict[str, np.ndarray]] = \
+        field(default_factory=dict)
+    #: the manifest this payload was restored from (provenance/debugging)
+    source: Optional[Dict[str, Any]] = None
+
+
+@dataclass
 class SubmittedJob:
     """A job inside the queue: the job plus its runtime bookkeeping."""
 
@@ -189,6 +225,10 @@ class SubmittedJob:
     #: (immutable per job; computed at most once even though the freed-width
     #: admission predicate runs for every pending job at epoch boundaries)
     profile_cache: Optional[Tuple] = None
+    #: durable checkpoint to resume from (crash recovery / quarantine
+    #: retry): the executor seeds the job's template model, optimizer
+    #: slice and progress counter from it instead of starting at step 0
+    resume: Optional[ResumeState] = None
 
 
 class JobQueue:
@@ -327,9 +367,11 @@ class JobQueue:
             return False
 
     def mark_running(self, submitted: SubmittedJob) -> None:
+        """Record that the job's fused array started training it."""
         submitted.state = JobState.RUNNING
 
     def mark_completed(self, submitted: SubmittedJob, result: Any) -> None:
+        """Record the job's terminal success with its JobResult."""
         submitted.state = JobState.COMPLETED
         submitted.result = result
 
@@ -341,6 +383,7 @@ class JobQueue:
         submitted.result = result
 
     def mark_failed(self, submitted: SubmittedJob, error: str) -> None:
+        """Record the job's terminal failure with its error message."""
         submitted.state = JobState.FAILED
         submitted.error = error
 
@@ -349,6 +392,7 @@ class JobQueue:
     # ------------------------------------------------------------------ #
     @property
     def pending_count(self) -> int:
+        """How many jobs are queued and not yet scheduled."""
         with self._lock:
             return len(self._pending)
 
@@ -357,6 +401,7 @@ class JobQueue:
             return len(self._jobs)
 
     def state(self, job_id: int) -> str:
+        """The job's current :class:`JobState` value."""
         return self._jobs[job_id].state
 
     def get(self, job_id: int) -> SubmittedJob:
@@ -364,6 +409,8 @@ class JobQueue:
         return self._jobs[job_id]
 
     def result(self, job_id: int) -> Any:
+        """The job's JobResult (``None`` until terminal; raises for a
+        FAILED job, carrying its error message)."""
         sub = self._jobs[job_id]
         if sub.state == JobState.FAILED:
             raise RuntimeError(f"job {job_id} ('{sub.job.name}') failed: "
@@ -371,5 +418,6 @@ class JobQueue:
         return sub.result
 
     def jobs(self) -> List[SubmittedJob]:
+        """Snapshot of every submission ever accepted, in id order."""
         with self._lock:
             return list(self._jobs.values())

@@ -1,0 +1,241 @@
+"""Optimizer snapshot/restore round-trips under eviction, and the
+per-slot state primitives the durable checkpoint layer is built on.
+
+``snapshot_optimizer`` / ``restore_optimizer`` were until now exercised
+only indirectly (via ``test_refusion.py``'s split/merge suites); these
+tests pin their contract directly — including the interaction with
+*eviction* (a snapshot taken before the array narrows cannot silently
+restore into the narrowed optimizer) — and the newer
+``export_slot_state`` / ``load_slot_state`` pair, whose bit-exactness is
+what makes crash recovery (:mod:`repro.runtime.checkpoint`) preserve the
+serial-equivalence guarantee.
+"""
+
+import numpy as np
+import pytest
+
+from repro import hfta, nn
+from repro.hfta import ops as hops
+from repro.hfta.optim import (Adadelta, Adam, AdamW, SGD, export_slot_state,
+                              load_slot_state, restore_optimizer,
+                              snapshot_optimizer, split_optimizer)
+
+B = 4
+
+
+def build_fused(num_models=B):
+    return nn.Sequential(
+        hops.Linear(num_models, 6, 5),
+        hops.ReLU(num_models),
+        hops.Linear(num_models, 5, 2))
+
+
+def make_optimizer(kind, fused, num_models, lr):
+    if kind == "adam":
+        return Adam(fused.parameters(), num_models=num_models, lr=lr)
+    if kind == "adamw":
+        return AdamW(fused.parameters(), num_models=num_models, lr=lr)
+    if kind == "sgd":
+        return SGD(fused.parameters(), num_models=num_models, lr=lr,
+                   momentum=0.9)
+    if kind == "adadelta":
+        return Adadelta(fused.parameters(), num_models=num_models, lr=lr)
+    raise ValueError(kind)
+
+
+def fake_step(fused, optimizer, seed=7):
+    rng = np.random.default_rng(seed)
+    for p in fused.parameters():
+        p.grad = rng.standard_normal(p.shape).astype(np.float32)
+    optimizer.step()
+
+
+def optimizer_state_by_position(optimizer):
+    """Position-keyed deep copy of the state (ids change across restores)."""
+    params = [p for g in optimizer.param_groups for p in g["params"]]
+    return {i: {k: np.copy(v) for k, v in
+                (optimizer.state.get(id(p)) or {}).items()}
+            for i, p in enumerate(params)}
+
+
+KINDS = ("adam", "adamw", "sgd", "adadelta")
+
+
+# --------------------------------------------------------------------- #
+class TestSnapshotRestoreRoundTrip:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_restore_undoes_further_stepping(self, kind):
+        """Snapshot, keep training, restore: the optimizer state must be
+        bit-identical to the snapshot instant."""
+        fused = build_fused()
+        opt = make_optimizer(kind, fused, B, [1e-3 * (b + 1) for b in
+                                              range(B)])
+        fake_step(fused, opt, seed=1)
+        snapshot = snapshot_optimizer(opt)
+        before = optimizer_state_by_position(opt)
+
+        fake_step(fused, opt, seed=2)       # state diverges...
+        fake_step(fused, opt, seed=3)
+        restore_optimizer(opt, snapshot)    # ...and is rolled back
+        after = optimizer_state_by_position(opt)
+        assert set(before) == set(after)
+        for pos, state in before.items():
+            assert set(state) == set(after[pos])
+            for key, value in state.items():
+                np.testing.assert_array_equal(
+                    after[pos][key], value, err_msg=f"{kind} [{pos}] {key}")
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_stepping_after_restore_is_bit_identical(self, kind):
+        """The eviction rollback story: two identical optimizers, one
+        snapshot/restored mid-way, must keep producing identical updates."""
+        fused_a, fused_b = build_fused(), build_fused()
+        for p_a, p_b in zip(fused_a.parameters(), fused_b.parameters()):
+            p_b.data[...] = p_a.data
+        opt_a = make_optimizer(kind, fused_a, B, [1e-3] * B)
+        opt_b = make_optimizer(kind, fused_b, B, [1e-3] * B)
+        fake_step(fused_a, opt_a, seed=1)
+        fake_step(fused_b, opt_b, seed=1)
+
+        snapshot = snapshot_optimizer(opt_b)
+        fake_step(fused_b, opt_b, seed=9)   # a transition that fails...
+        restore_optimizer(opt_b, snapshot)  # ...rolls the optimizer back
+        for p_a, p_b in zip(fused_a.parameters(), fused_b.parameters()):
+            p_b.data[...] = p_a.data        # (the model half, via
+                                            #  snapshot_array in the engine)
+        fake_step(fused_a, opt_a, seed=2)
+        fake_step(fused_b, opt_b, seed=2)
+        for (name, p_a), (_, p_b) in zip(fused_a.named_parameters(),
+                                         fused_b.named_parameters()):
+            np.testing.assert_array_equal(p_b.data, p_a.data,
+                                          err_msg=f"{kind} {name}")
+
+    def test_restore_into_evicted_width_is_rejected(self):
+        """Eviction narrows the optimizer; a pre-eviction snapshot must be
+        refused, not silently misapplied to the wrong slots."""
+        fused = build_fused()
+        opt = make_optimizer("adam", fused, B, [1e-3] * B)
+        fake_step(fused, opt)
+        snapshot = snapshot_optimizer(opt)
+
+        narrowed = hfta.split_fused(fused, [0, 2])      # slots 1, 3 evicted
+        opt_narrow = split_optimizer(opt, narrowed.parameters(), [0, 2])
+        with pytest.raises(ValueError, match="num_models"):
+            restore_optimizer(opt_narrow, snapshot)
+
+    def test_snapshot_survives_eviction_of_other_slots(self):
+        """A snapshot taken *of the narrowed optimizer* after eviction
+        restores exactly, and its arrays are copies — further stepping of
+        the live optimizer must not mutate the snapshot."""
+        fused = build_fused()
+        opt = make_optimizer("adam", fused, B,
+                             [1e-3 * (b + 1) for b in range(B)])
+        fake_step(fused, opt, seed=1)
+        narrowed = hfta.split_fused(fused, [1, 3])
+        opt_narrow = split_optimizer(opt, narrowed.parameters(), [1, 3])
+
+        snapshot = snapshot_optimizer(opt_narrow)
+        frozen = {pos: {k: np.copy(v) for k, v in st.items()}
+                  for pos, st in snapshot["state"].items()}
+        fake_step(narrowed, opt_narrow, seed=2)
+        for pos, st in snapshot["state"].items():
+            for key, value in st.items():
+                np.testing.assert_array_equal(value, frozen[pos][key])
+        restore_optimizer(opt_narrow, snapshot)
+        # per-model lr of the kept slots survived both transitions
+        np.testing.assert_allclose(opt_narrow.param_groups[0]["lr"],
+                                   [2e-3, 4e-3])
+
+
+# --------------------------------------------------------------------- #
+class TestSlotStatePrimitives:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_export_matches_split_optimizer_slot(self, kind):
+        """export_slot_state(opt, i) must equal what split_optimizer would
+        hand slot i — the two per-slot paths cannot disagree."""
+        fused = build_fused()
+        opt = make_optimizer(kind, fused, B, [1e-3] * B)
+        fake_step(fused, opt)
+        for index in (0, 2, B - 1):
+            exported = export_slot_state(opt, index)
+            narrowed = hfta.split_fused(fused, [index])
+            opt_slot = split_optimizer(opt, narrowed.parameters(), [index])
+            reference = optimizer_state_by_position(opt_slot)
+            assert set(exported) == {pos for pos, st in reference.items()
+                                     if st}
+            for pos, state in exported.items():
+                for key, value in state.items():
+                    np.testing.assert_array_equal(
+                        value, reference[pos][key][0],
+                        err_msg=f"{kind} slot {index} [{pos}] {key}")
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_load_into_fresh_optimizer_steps_bit_identically(self, kind):
+        """The crash-recovery invariant at primitive level: export a
+        slot, inject it into a *fresh* optimizer (lazy zero state), and
+        further steps of that slot are bit-identical to never leaving."""
+        fused = build_fused()
+        opt = make_optimizer(kind, fused, B, [1e-3] * B)
+        fake_step(fused, opt, seed=1)
+        index = 2
+        exported = export_slot_state(opt, index)
+
+        resumed = build_fused()
+        for p_new, p_old in zip(resumed.parameters(), fused.parameters()):
+            p_new.data[...] = p_old.data
+        opt_new = make_optimizer(kind, resumed, B, [1e-3] * B)
+        load_slot_state(opt_new, index, exported)
+
+        fake_step(fused, opt, seed=2)
+        fake_step(resumed, opt_new, seed=2)
+        for (name, p_old), (_, p_new) in zip(fused.named_parameters(),
+                                             resumed.named_parameters()):
+            np.testing.assert_array_equal(
+                p_new.data[index], p_old.data[index],
+                err_msg=f"{kind} {name} slot {index}")
+
+    def test_load_leaves_other_slots_at_lazy_init(self):
+        """Injected zeros must equal lazy initialization: slots that never
+        stepped behave exactly like a brand-new optimizer's."""
+        fused = build_fused()
+        opt = make_optimizer("adam", fused, B, [1e-3] * B)
+        fake_step(fused, opt, seed=1)
+        exported = export_slot_state(opt, 1)
+
+        resumed = build_fused()
+        reference = build_fused()
+        for p_r, p_ref, p_old in zip(resumed.parameters(),
+                                     reference.parameters(),
+                                     fused.parameters()):
+            p_r.data[...] = p_old.data
+            p_ref.data[...] = p_old.data
+        opt_resumed = make_optimizer("adam", resumed, B, [1e-3] * B)
+        opt_reference = make_optimizer("adam", reference, B, [1e-3] * B)
+        load_slot_state(opt_resumed, 1, exported)
+
+        fake_step(resumed, opt_resumed, seed=3)
+        fake_step(reference, opt_reference, seed=3)
+        for (name, p_r), (_, p_ref) in zip(resumed.named_parameters(),
+                                           reference.named_parameters()):
+            for slot in (0, 2, 3):      # every slot except the injected one
+                np.testing.assert_array_equal(
+                    p_r.data[slot], p_ref.data[slot],
+                    err_msg=f"{name} slot {slot}")
+
+    def test_out_of_range_inputs_rejected(self):
+        fused = build_fused()
+        opt = make_optimizer("adam", fused, B, [1e-3] * B)
+        fake_step(fused, opt)
+        with pytest.raises(ValueError, match="out of range"):
+            export_slot_state(opt, B)
+        with pytest.raises(ValueError, match="out of range"):
+            load_slot_state(opt, -1, {})
+        with pytest.raises(ValueError, match="out of range"):
+            load_slot_state(opt, 0, {99: {"step": np.zeros(())}})
+
+    def test_shape_mismatch_rejected(self):
+        fused = build_fused()
+        opt = make_optimizer("adam", fused, B, [1e-3] * B)
+        fake_step(fused, opt)
+        with pytest.raises(ValueError, match="shape"):
+            load_slot_state(opt, 0, {0: {"exp_avg": np.zeros((9, 9))}})

@@ -13,6 +13,10 @@ Two artifact families, two comparison strategies:
 * **BENCH_elastic.json** is machine-independent (slot-step efficiency
   ratios), so values are gated directly: each ``higher-is-better`` metric
   must stay within ``threshold`` (default 15%) of its baseline.
+  **BENCH_checkpoint.json** (the durability artifact) is gated the same
+  way — jobs recovered and recovery integrity must not drop, and bytes
+  per checkpoint must not *grow* past the threshold; its wall-clock
+  latencies are reported but not gated.
 
 * **BENCH_runtime.json** is wall-clock timings, and CI runners are not
   the machine the baseline was recorded on.  Raw means are therefore
@@ -48,12 +52,24 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
-ARTIFACTS = ("BENCH_runtime.json", "BENCH_elastic.json")
+ARTIFACTS = ("BENCH_runtime.json", "BENCH_elastic.json",
+             "BENCH_checkpoint.json")
 
 #: BENCH_elastic.json metrics under gate; all are higher-is-better and
 #: machine-independent (ratios of deterministic slot-step counters)
 ELASTIC_METRICS = ("static_efficiency", "elastic_efficiency",
                    "efficiency_gain", "serial_steps_saved")
+
+#: BENCH_checkpoint.json metrics under gate — the machine-independent
+#: subset of the durability artifact.  jobs_recovered / recovery_integrity
+#: are higher-is-better (a recovery that loses jobs or bends the
+#: serial-equivalence guarantee must fail the gate); bytes_per_checkpoint
+#: is lower-is-better (checkpoints silently growing past threshold is a
+#: storage regression).  The wall-clock write/recovery latencies are
+#: reported in the artifact but not gated — they are machine-dependent
+#: and too short for the median-normalization trick to stabilize.
+CHECKPOINT_METRICS_HIGHER = ("jobs_recovered", "recovery_integrity")
+CHECKPOINT_METRICS_LOWER = ("bytes_per_checkpoint",)
 
 
 def load(path: Path) -> dict:
@@ -116,28 +132,57 @@ def compare_runtime(fresh: dict, baseline: dict, threshold: float,
     return rows
 
 
-def compare_elastic(fresh: dict, baseline: dict, threshold: float,
-                    failures: list) -> list:
-    """Gate the machine-independent efficiency artifact."""
+def compare_metrics(artifact: str, fresh: dict, baseline: dict,
+                    threshold: float, failures: list,
+                    higher: tuple, lower: tuple = ()) -> list:
+    """Gate machine-independent metrics of one JSON artifact.
+
+    ``higher`` metrics must stay within ``threshold`` *below* their
+    baseline; ``lower`` metrics within ``threshold`` *above* it.
+    """
     rows = []
-    for metric in ELASTIC_METRICS:
+    for metric in higher + lower:
         if metric not in baseline:
             continue
         base = float(baseline[metric])
         if metric not in fresh:
-            failures.append(f"BENCH_elastic.json lost metric '{metric}'")
+            failures.append(f"{artifact} lost metric '{metric}'")
             continue
         value = float(fresh[metric])
-        floor = base * (1.0 - threshold)
         verdict = "ok"
-        if value < floor:
-            verdict = "REGRESSED"
-            failures.append(
-                f"elastic metric '{metric}': {value:.4f} < floor "
-                f"{floor:.4f} (baseline {base:.4f}, -{threshold:.0%})")
+        if metric in higher:
+            bound = base * (1.0 - threshold)
+            if value < bound:
+                verdict = "REGRESSED"
+                failures.append(
+                    f"{artifact} metric '{metric}': {value:.4f} < floor "
+                    f"{bound:.4f} (baseline {base:.4f}, -{threshold:.0%})")
+        else:
+            bound = base * (1.0 + threshold)
+            if value > bound:
+                verdict = "REGRESSED"
+                failures.append(
+                    f"{artifact} metric '{metric}': {value:.4f} > ceiling "
+                    f"{bound:.4f} (baseline {base:.4f}, +{threshold:.0%})")
         rows.append((metric, base, value, value / base if base else 0.0,
                      verdict))
     return rows
+
+
+def compare_elastic(fresh: dict, baseline: dict, threshold: float,
+                    failures: list) -> list:
+    """Gate the machine-independent efficiency artifact."""
+    return compare_metrics("BENCH_elastic.json", fresh, baseline, threshold,
+                           failures, higher=ELASTIC_METRICS)
+
+
+def compare_checkpoint(fresh: dict, baseline: dict, threshold: float,
+                       failures: list) -> list:
+    """Gate the durability artifact's machine-independent metrics."""
+    return compare_metrics("BENCH_checkpoint.json", fresh, baseline,
+                           threshold, failures,
+                           higher=CHECKPOINT_METRICS_HIGHER,
+                           lower=CHECKPOINT_METRICS_LOWER)
 
 
 def print_rows(title: str, rows: list, headers: tuple) -> None:
@@ -217,12 +262,19 @@ def main(argv=None) -> int:
     elastic_rows = compare_elastic(load(args.fresh_dir / ARTIFACTS[1]),
                                    load(args.baseline_dir / ARTIFACTS[1]),
                                    args.threshold, failures)
+    checkpoint_rows = compare_checkpoint(
+        load(args.fresh_dir / ARTIFACTS[2]),
+        load(args.baseline_dir / ARTIFACTS[2]),
+        args.threshold, failures)
 
     print_rows("BENCH_runtime.json (normalized by median machine scale)",
                runtime_rows,
                ("benchmark", "base_mean_s", "fresh_mean_s",
                 "normalized", "verdict"))
     print_rows("BENCH_elastic.json (machine-independent)", elastic_rows,
+               ("metric", "baseline", "fresh", "ratio", "verdict"))
+    print_rows("BENCH_checkpoint.json (machine-independent)",
+               checkpoint_rows,
                ("metric", "baseline", "fresh", "ratio", "verdict"))
 
     if failures:
@@ -233,7 +285,8 @@ def main(argv=None) -> int:
         return 1
     print(f"\nbench-gate: all benchmarks within {args.threshold:.0%} of "
           f"the committed baselines "
-          f"({len(runtime_rows)} timed, {len(elastic_rows)} elastic).")
+          f"({len(runtime_rows)} timed, {len(elastic_rows)} elastic, "
+          f"{len(checkpoint_rows)} durability).")
     return 0
 
 
