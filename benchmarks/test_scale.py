@@ -1,0 +1,177 @@
+"""Scale benchmark: 100k simulated jobs across a 1k-device virtual fleet.
+
+The simulation backend (:mod:`repro.runtime.sim`) replaces every tensor
+op and wall-clock read with :mod:`repro.hwsim` cost-model projections on
+a :class:`~repro.runtime.sim.VirtualClock`, so one pytest process can
+push the *entire* scheduling stack — gateway admission, weighted-fair +
+priority dequeue, cost-model placement over a 1024-device fleet, elastic
+eviction/merge/defragmentation — through a diurnal, bursty multi-tenant
+trace of 100 000 jobs in well under a minute of wall-clock time.
+
+What is measured (and what is gated):
+
+* **scheduler decisions/sec** — every dequeue/place/admit/retire/preempt
+  the fleet makes, divided by wall time.  Machine-dependent; reported
+  but not gated.
+* **makespan vs. serial oracle** — the cost model's serial execution
+  time for the whole trace divided by the busiest device's simulated
+  busy time (``metrics.simulated_makespan``).  Pure virtual-time
+  arithmetic, bit-reproducible across machines; gated.
+* **SLO-miss rate** — the ``prio`` tenant submits every job with a
+  deadline; the weighted-fair scheduler must never miss one.  Gated at
+  exactly zero (a single miss fails the bench-gate).
+
+The run emits ``BENCH_scale.json``; CI's bench-gate diffs the
+machine-independent metrics (``oracle_speedup``, ``jobs_completed``,
+``scheduler_decisions``, ``slo_miss_rate``) against
+``benchmarks/baselines/`` via ``tools/bench_compare.py`` and uploads the
+artifact as part of the perf trajectory.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import nn
+from repro.hfta.ops.factory import OpsLibrary
+from repro.cluster import ServingTraceConfig, TenantLoad, \
+    generate_serving_trace
+from repro.runtime import ServingGateway, TenantSpec, TraceReplayer, \
+    TrainingJob, synthetic_fleet
+from .conftest import print_table
+
+N_JOBS = 100_000                 # >= 100k simulated jobs ...
+N_DEVICES = 1024                 # ... over >= 1k simulated devices
+MAX_WIDTH = 32
+TRACE_SECONDS = 7200.0           # two simulated hours of arrivals
+CYCLE_QUANTUM_S = 300.0          # virtual-time step while draining
+# acceptance bar: the whole run in one pytest process, under a minute of
+# wall-clock (override for slow CI runners / instrumented builds)
+WALL_BUDGET_S = float(os.environ.get("REPRO_SCALE_WALL_BUDGET_S", "60"))
+FEATURES, CLASSES = 4, 2
+
+
+class SimMLP(nn.Module):
+    """Minimal fusible architecture: the sim never runs its tensors."""
+
+    def __init__(self, hidden=2, num_models=None, generator=None):
+        super().__init__()
+        lib = self.lib = OpsLibrary(num_models)
+        self.fc1 = lib.Linear(FEATURES, hidden, generator=generator)
+        self.fc2 = lib.Linear(hidden, CLASSES, generator=generator)
+        self.relu = lib.ReLU()
+
+    def fuse_inputs(self, features):
+        return self.lib.fuse_dense_inputs(features)
+
+    def forward(self, x):
+        return self.fc2(self.relu(self.fc1(x)))
+
+
+def build_model(num_models=None, generator=None):
+    return SimMLP(2, num_models, generator)
+
+
+def no_data(step):
+    """Sim executors never read the stream; loss comes from the model."""
+    return (None, None)
+
+
+def make_trace():
+    """Diurnal + bursty three-tenant arrival trace, fully deterministic."""
+    return generate_serving_trace(ServingTraceConfig(
+        num_jobs=N_JOBS, duration_s=TRACE_SECONDS, seed=0,
+        tenants=(TenantLoad("batch", share=6.0),
+                 TenantLoad("interactive", share=3.0),
+                 TenantLoad("prio", share=1.0, priority=2,
+                            deadline_s=3600.0, deadline_rate=1.0)),
+        mean_burst_size=24.0, max_burst_size=64,
+        steps_choices=(4, 8), epoch_steps_choices=(2,)))
+
+
+def make_gateway():
+    return ServingGateway(
+        tenants=(TenantSpec("batch", weight=1.0),
+                 TenantSpec("interactive", weight=2.0),
+                 TenantSpec("prio", weight=4.0, priority=2)),
+        max_pending=N_JOBS + 1,
+        devices=synthetic_fleet(N_DEVICES), max_width=MAX_WIDTH,
+        execution="sim", store=None, checkpoint_every=0)
+
+
+def job_factory(event):
+    # event.deadline_s is *relative to arrival*; the TraceReplayer hands
+    # it to gateway.submit, which stamps the absolute deadline at
+    # admission time — so the job itself is built without one.
+    return TrainingJob(
+        name=event.name, build_model=build_model, data=no_data,
+        steps=event.steps, epoch_steps=event.epoch_steps, seed=event.seed,
+        tenant=event.tenant, user=event.user, priority=event.priority,
+        workload=event.workload)
+
+
+def test_scale_100k_jobs_1k_devices():
+    trace = make_trace()
+    assert len(trace) == N_JOBS
+
+    gateway = make_gateway()
+    replayer = TraceReplayer(gateway, trace, job_factory,
+                             cycle_quantum_s=CYCLE_QUANTUM_S)
+
+    t0 = time.perf_counter()
+    results = replayer.run()
+    wall = time.perf_counter() - t0
+
+    metrics = gateway.metrics
+    # -- completeness: no job lost, none shed (the queue bound admits the
+    #    whole trace), none failed
+    assert len(results) == N_JOBS
+    assert not replayer.rejected
+    assert metrics.jobs_completed == N_JOBS
+    assert metrics.jobs_failed == 0
+
+    # -- the priority tenant's SLO holds across the whole trace
+    rows, header = gateway.report()
+    by_tenant = {row[0]: dict(zip(header, row)) for row in rows}
+    prio = by_tenant["prio"]
+    assert prio["slo_misses"] == 0
+    assert prio["slo_hits"] == prio["submitted"]
+    total_misses = sum(row[header.index("slo_misses")] for row in rows)
+
+    # -- makespan vs. the serial oracle (cost model, one job at a time)
+    oracle_s = sum(
+        gateway.placer.projected_seconds(ev.workload, 1, ev.steps)
+        for ev in trace)
+    busy_makespan_s = metrics.simulated_makespan
+    virtual_makespan_s = gateway.fleet.virtual_makespan()
+    assert busy_makespan_s > 0
+    speedup = oracle_s / busy_makespan_s
+    assert speedup > 1.0, "fused fleet should beat the serial oracle"
+
+    # -- scale acceptance: one process, one minute
+    assert wall < WALL_BUDGET_S, (
+        f"scale run took {wall:.1f}s (budget {WALL_BUDGET_S:.0f}s)")
+
+    decisions = metrics.scheduler_decisions
+    payload = {
+        "jobs": N_JOBS,
+        "devices": N_DEVICES,
+        "wall_seconds": round(wall, 3),
+        "scheduler_decisions": decisions,
+        "decisions_per_sec": round(decisions / wall, 1),
+        "virtual_makespan_s": round(virtual_makespan_s, 3),
+        "busy_makespan_s": round(busy_makespan_s, 3),
+        "serial_oracle_s": round(oracle_s, 3),
+        "oracle_speedup": round(speedup, 3),
+        "jobs_completed": metrics.jobs_completed,
+        "slo_miss_rate": total_misses / N_JOBS,
+        "arrays": metrics.arrays_launched,
+        "mean_array_width": round(metrics.models_per_array, 3),
+    }
+    Path("BENCH_scale.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_table(
+        "scale: 100k jobs / 1024 simulated devices",
+        [(k, v) for k, v in payload.items()],
+        header=("metric", "value"))

@@ -9,7 +9,8 @@ GPU-hour accounting, and utilization sampling of the repetitive jobs.
 
 from .jobs import JobRecord, JOB_CATEGORIES
 from .levenshtein import levenshtein_distance, normalized_similarity
-from .generator import TraceConfig, generate_trace
+from .generator import (ArrivalEvent, ServingTraceConfig, TenantLoad,
+                        TraceConfig, generate_serving_trace, generate_trace)
 from .classifier import (ClassifierConfig, classify_jobs, usage_breakdown,
                          classification_accuracy, workload_signature)
 from .analysis import JobUtilizationSample, sample_repetitive_utilization
@@ -17,6 +18,8 @@ from .analysis import JobUtilizationSample, sample_repetitive_utilization
 __all__ = [
     "JobRecord", "JOB_CATEGORIES", "levenshtein_distance",
     "normalized_similarity", "TraceConfig", "generate_trace",
+    "ArrivalEvent", "ServingTraceConfig", "TenantLoad",
+    "generate_serving_trace",
     "ClassifierConfig", "classify_jobs", "usage_breakdown",
     "classification_accuracy", "workload_signature",
     "JobUtilizationSample", "sample_repetitive_utilization",

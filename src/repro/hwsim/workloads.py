@@ -364,9 +364,26 @@ SECONDARY_WORKLOADS = ("resnet18", "mobilenet_v3_large", "transformer_lm",
                        "bert_medium")
 
 
+#: default-parameter specs by name — building a spec walks the whole
+#: kernel recipe, and schedulers ask for the same handful of defaults
+#: millions of times at trace-replay scale.  Specs are treated as
+#: immutable everywhere, so sharing one instance is safe.
+_DEFAULT_SPECS: Dict[str, WorkloadSpec] = {}
+
+
 def get_workload(name: str, **kwargs) -> WorkloadSpec:
-    """Build a workload by name with optional parameter overrides."""
+    """Build a workload by name with optional parameter overrides.
+
+    The no-override case returns a cached shared instance; callers must
+    not mutate it (use ``dataclasses.replace`` to derive variants).
+    """
     if name not in WORKLOADS:
         raise KeyError(f"unknown workload '{name}'; available: "
                        f"{sorted(WORKLOADS)}")
+    if not kwargs:
+        spec = _DEFAULT_SPECS.get(name)
+        if spec is None:
+            spec = WORKLOADS[name]()
+            _DEFAULT_SPECS[name] = spec
+        return spec
     return WORKLOADS[name](**kwargs)

@@ -39,6 +39,15 @@ of a shared accelerator:
   token-bucket rate limits and quotas, weighted-fair + priority
   admission, SLO deadlines driving placement order and eviction-based
   preemption, bounded-queue backpressure with shed/retry-after;
+* :mod:`repro.runtime.sim`     — the virtual-time simulation backend:
+  ``execution="sim"`` swaps the training physics for
+  :mod:`repro.hwsim` cost-model projections on an injectable
+  :class:`~repro.runtime.sim.VirtualClock` (same lifecycle code, no
+  tensors, no wall clock), with
+  :class:`~repro.runtime.sim.TraceReplayer` feeding timestamped
+  arrival traces and a fleet-level ``chaos`` hook injecting simulated
+  device deaths — one process simulates 100k jobs over 1k devices
+  (``benchmarks/test_scale.py``);
 * :mod:`repro.runtime.checkpoint` — durability: a content-addressed,
   atomic :class:`~repro.runtime.checkpoint.CheckpointStore` for per-slot
   training state (model weights + per-slot optimizer state + progress)
@@ -70,8 +79,9 @@ Fleet scale::
 
 See ``docs/architecture.md`` for the full data-flow diagram and the map
 of the documentation tree (``docs/runtime.md``, ``docs/elasticity.md``,
-``docs/gateway.md``, ``docs/checkpointing.md``, ``docs/operations.md``,
-``docs/api.md``), and ``examples/runtime_serving.py`` /
+``docs/gateway.md``, ``docs/checkpointing.md``, ``docs/simulation.md``,
+``docs/operations.md``, ``docs/api.md``), and
+``examples/runtime_serving.py`` /
 ``examples/fleet_serving.py`` / ``examples/crash_recovery.py`` for
 end-to-end serving sessions.
 """
@@ -84,12 +94,14 @@ from .engine import (ArrayExecutor, ArrayState, JobResult, StopReason,
                      TrainingArrayEngine)
 from .metrics import ArrayRecord, RuntimeMetrics
 from .placement import (DEFAULT_FLEET, DefragPolicy, FleetPlacer,
-                        PlacementDecision)
+                        PlacementDecision, synthetic_fleet)
 from .checkpoint import (CheckpointStore, RecoveryManager, SlotCheckpoint,
                          WriteReceipt)
 from .fleet import DeviceWorker, FleetScheduler
 from .gateway import (AdmissionTicket, ServingGateway, ShedReason,
                       TenantSpec)
+from .sim import (SimExecutor, SimulatedCrash, TraceReplayer, VirtualClock,
+                  default_sim_loss)
 
 __all__ = [
     "JobState", "TrainingJob", "SubmittedJob", "JobQueue", "ResumeState",
@@ -99,7 +111,10 @@ __all__ = [
     "TrainingArrayEngine",
     "ArrayRecord", "RuntimeMetrics",
     "DEFAULT_FLEET", "DefragPolicy", "FleetPlacer", "PlacementDecision",
+    "synthetic_fleet",
     "CheckpointStore", "RecoveryManager", "SlotCheckpoint", "WriteReceipt",
     "DeviceWorker", "FleetScheduler",
     "AdmissionTicket", "ServingGateway", "ShedReason", "TenantSpec",
+    "SimExecutor", "SimulatedCrash", "TraceReplayer", "VirtualClock",
+    "default_sim_loss",
 ]

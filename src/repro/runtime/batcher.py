@@ -86,6 +86,25 @@ class Batcher:
                  tenant_isolation: bool = False):
         self.infusible_keys = tuple(infusible_keys)
         self.tenant_isolation = tenant_isolation
+        #: template -> structural signature, keyed by identity with a
+        #: strong reference (so a recycled id can never alias a dead
+        #: template).  Signatures walk every module and parameter; at
+        #: trace-replay scale each template is signed several times
+        #: (grouping key, fusibility validation, admission confirms), so
+        #: the walk is paid once per object.  Bounded by clear-on-overflow:
+        #: templates are per-cycle objects, a stale cache has no value.
+        self._sig_cache: "Dict[int, Tuple[Module, Tuple]]" = {}
+
+    def signature(self, template: Module) -> Tuple:
+        """Memoized :func:`repro.hfta.fusion.structural_signature`."""
+        entry = self._sig_cache.get(id(template))
+        if entry is not None and entry[0] is template:
+            return entry[1]
+        sig = structural_signature(template)
+        if len(self._sig_cache) >= 512:
+            self._sig_cache.clear()
+        self._sig_cache[id(template)] = (template, sig)
+        return sig
 
     # ------------------------------------------------------------------ #
     def infusible_values(self, sub: SubmittedJob
@@ -178,7 +197,7 @@ class Batcher:
                 job.epoch_steps,                  # gang-scheduled epoch cadence
                 job.loss,
                 job.workload,                     # one cost model per array
-                structural_signature(template),   # level 2: exact structure
+                self.signature(template),         # level 2: exact structure
                 # quarantined retries train alone (see SubmittedJob.solo)
                 sub.job_id if sub.solo else None,
                 # tenant isolation: one tenant per array when requested
@@ -194,5 +213,11 @@ class Batcher:
 
         cohorts = list(groups.values())
         for cohort in cohorts:
-            validate_fusibility(cohort.templates)  # level 3: safety net
+            # level 3: safety net.  The signatures were just computed (and
+            # memoized) for the grouping key, so the healthy path is a
+            # cache-hit comparison; only an actual mismatch pays for
+            # validate_fusibility's precise diagnostic.
+            sigs = [self.signature(t) for t in cohort.templates]
+            if any(sig != sigs[0] for sig in sigs[1:]):
+                validate_fusibility(cohort.templates)
         return cohorts, failures

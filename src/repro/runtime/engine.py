@@ -161,6 +161,9 @@ class JobResult:
                                 # a live array before it finished
     finished_at: float = 0.0    # time.monotonic() at checkpoint export —
                                 # the gateway's SLO clock reads this
+    sim: bool = False           # produced by the simulation backend:
+                                # finished_at is already in virtual-clock
+                                # coordinates (no wall-clock offset applies)
 
 
 @dataclass
@@ -199,7 +202,20 @@ class ArrayExecutor:
     It is driven by :meth:`TrainingArrayEngine.run_executor`; the fleet
     additionally pauses executors (straggler pool), moves them between
     devices and merges them (:meth:`merge_with`).
+
+    Every interaction with *training physics* — building/merging/splitting
+    the fused numpy state, running the train loop, exporting checkpoints,
+    reading the wall clock — goes through the ``_build_fused`` /
+    ``_run_epoch`` / ``_export_slot`` / ``_narrow`` / ``_admit_fused`` /
+    ``_merge_fused_state`` / ``_split_out`` / ``_now`` hooks, so the
+    virtual-time backend (:class:`repro.runtime.sim.SimExecutor`) can
+    replace them with cost-model projections while the whole lifecycle —
+    stop signals, eviction, admission, defrag, preemption, checkpoint
+    journaling — stays this exact code.
     """
+
+    #: True on the simulation backend; stamped into ``JobResult.sim``
+    is_sim = False
 
     def __init__(self, engine: "TrainingArrayEngine", plan: ArrayPlan,
                  array_id: int):
@@ -304,6 +320,22 @@ class ArrayExecutor:
         for sub in jobs:
             self.engine.queue.mark_running(sub)
 
+        self._build_fused(jobs, templates)
+        # durable-checkpoint resume: the templates already carry the
+        # checkpointed weights (Batcher.build_template); inject the
+        # optimizer half and fast-forward the progress counters so each
+        # resumed slot continues at its exact global step index
+        for index, slot in enumerate(self.slots):
+            self._apply_resume(index, slot)
+        self.state = ArrayState.FUSED
+        self._journal("launch")
+
+    # ------------------------------------------------------------------ #
+    # training physics (everything the simulation backend overrides)
+    # ------------------------------------------------------------------ #
+    def _build_fused(self, jobs: Sequence[SubmittedJob],
+                     templates: Sequence[Module]) -> None:
+        """Materialize the fused model / optimizer / criterion."""
         validate_fusibility(templates)
         fused = jobs[0].job.build_model(self.live_width, None)
         if not hasattr(fused, "fuse_inputs"):
@@ -316,14 +348,84 @@ class ArrayExecutor:
         self.optimizer = make_fused_optimizer(
             fused, [slot.job.config for slot in self.slots], self.live_width)
         self.criterion = self._make_criterion(self.live_width)
-        # durable-checkpoint resume: the templates already carry the
-        # checkpointed weights (Batcher.build_template); inject the
-        # optimizer half and fast-forward the progress counters so each
-        # resumed slot continues at its exact global step index
-        for index, slot in enumerate(self.slots):
-            self._apply_resume(index, slot)
-        self.state = ArrayState.FUSED
-        self._journal("launch")
+
+    def _run_epoch(self, steps: int) -> float:
+        """Train ``steps`` gang-scheduled steps; returns epoch seconds."""
+        start = time.perf_counter()
+        for i in range(steps):
+            batches = [slot.job.data(slot.progress + i)
+                       for slot in self.slots]
+            inputs = [nn.tensor(np.asarray(x, dtype=np.float32))
+                      for x, _ in batches]
+            targets = np.stack([y for _, y in batches])
+            self.optimizer.zero_grad()
+            out = self.fused(self.fused.fuse_inputs(inputs))
+            loss = self.criterion(out, targets)
+            loss.backward()
+            self.optimizer.step()
+            per_model = self.criterion.per_model(out, targets)
+            for b, slot in enumerate(self.slots):
+                slot.curve.append(float(per_model[b]))
+            self.samples += sum(len(y) for _, y in batches)
+        return time.perf_counter() - start
+
+    def _export_slot(self, index: int, slot: _Slot) -> Module:
+        """The slot's unfused checkpoint model as of its last step."""
+        return export_to_unfused(self.fused, index, slot.template)
+
+    def _export_optimizer_state(self, index: int) -> Dict:
+        """The slot's per-model optimizer-state slice (durability)."""
+        return export_slot_state(self.optimizer, index)
+
+    def _load_resume_state(self, index: int, resume) -> None:
+        """Inject a resume payload's optimizer slice into slot ``index``."""
+        load_slot_state(self.optimizer, index, resume.optimizer_state)
+
+    def _narrow(self, keep: Sequence[int]) -> None:
+        """Shrink the fused state down to the ``keep`` slot indices."""
+        self.fused = split_fused(self.fused, keep)
+        self.optimizer = split_optimizer(
+            self.optimizer, self.fused.parameters(), keep)
+        self.criterion = self._make_criterion(len(keep))
+
+    def _admit_fused(self, subs: Sequence[SubmittedJob],
+                     templates: Sequence[Module]) -> None:
+        """Widen the fused state with freshly admitted jobs.
+
+        Must either succeed or raise *without* mutating the live state
+        (failure isolation for the admission path).
+        """
+        width = len(subs)
+        sub_model = subs[0].job.build_model(width, None)
+        load_from_unfused(sub_model, templates)
+        sub_opt = make_fused_optimizer(
+            sub_model, [sub.job.config for sub in subs], width)
+        merged = merge_fused(self.fused, sub_model)
+        merged_opt = merge_optimizers(self.optimizer, sub_opt,
+                                      merged.parameters())
+        # merge_fused/merge_optimizers never mutate their inputs, so a
+        # raise above leaves the live array untouched; past this point the
+        # swap is atomic
+        self.fused, self.optimizer = merged, merged_opt
+        self.criterion = self._make_criterion(self.live_width + width)
+
+    def _merge_fused_state(self, other: "ArrayExecutor") -> None:
+        """Absorb a paused straggler's fused state (defragmentation)."""
+        merged = merge_fused(self.fused, other.fused)
+        merged_opt = merge_optimizers(self.optimizer, other.optimizer,
+                                      merged.parameters())
+        self.fused, self.optimizer = merged, merged_opt
+
+    def _split_out(self, moving: Sequence[int]) -> Tuple:
+        """Split the ``moving`` slots' fused state out (preemption)."""
+        child_fused = split_fused(self.fused, moving)
+        child_opt = split_optimizer(self.optimizer,
+                                    child_fused.parameters(), moving)
+        return child_fused, child_opt
+
+    def _now(self) -> float:
+        """The executor's clock for ``JobResult.finished_at``."""
+        return time.monotonic()
 
     def _make_criterion(self, num_models: int):
         if self.loss_key not in _CRITERIA:
@@ -339,7 +441,7 @@ class ArrayExecutor:
         resume = slot.sub.resume
         if resume is None or slot.progress >= resume.progress:
             return
-        load_slot_state(self.optimizer, index, resume.optimizer_state)
+        self._load_resume_state(index, resume)
         slot.progress = resume.progress
         slot.curve = list(resume.loss_curve)
         self.max_progress = max(self.max_progress, slot.progress)
@@ -366,13 +468,12 @@ class ArrayExecutor:
             return
         try:
             if model_state is None:
-                model_state = export_to_unfused(
-                    self.fused, index, slot.template).state_dict()
+                model_state = self._export_slot(index, slot).state_dict()
             receipt = store.save_slot(
                 job_id=slot.sub.job_id, job=slot.job,
                 progress=slot.progress, loss_curve=slot.curve,
                 model_state=model_state,
-                optimizer_state=export_slot_state(self.optimizer, index),
+                optimizer_state=self._export_optimizer_state(index),
                 provenance=self._provenance(index),
                 final=final, stop_reason=stop_reason)
         except Exception:  # noqa: BLE001 — durability is best-effort
@@ -424,23 +525,7 @@ class ArrayExecutor:
         num_models = self.live_width
         steps = min(self.epoch_steps,
                     min(slot.remaining for slot in self.slots))
-        start = time.perf_counter()
-        for i in range(steps):
-            batches = [slot.job.data(slot.progress + i)
-                       for slot in self.slots]
-            inputs = [nn.tensor(np.asarray(x, dtype=np.float32))
-                      for x, _ in batches]
-            targets = np.stack([y for _, y in batches])
-            self.optimizer.zero_grad()
-            out = self.fused(self.fused.fuse_inputs(inputs))
-            loss = self.criterion(out, targets)
-            loss.backward()
-            self.optimizer.step()
-            per_model = self.criterion.per_model(out, targets)
-            for b, slot in enumerate(self.slots):
-                slot.curve.append(float(per_model[b]))
-            self.samples += sum(len(y) for _, y in batches)
-        epoch_seconds = time.perf_counter() - start
+        epoch_seconds = self._run_epoch(steps)
         self.seconds += epoch_seconds
 
         self.epochs += 1
@@ -508,7 +593,7 @@ class ArrayExecutor:
         keep = [i for i in range(self.live_width) if i not in stop_map]
         for index, reason in stopping:
             slot = self.slots[index]
-            checkpoint = export_to_unfused(self.fused, index, slot.template)
+            checkpoint = self._export_slot(index, slot)
             result = JobResult(
                 job_id=slot.sub.job_id, name=slot.job.name,
                 checkpoint=checkpoint, loss_curve=slot.curve,
@@ -517,7 +602,7 @@ class ArrayExecutor:
                 steps_trained=slot.progress, stop_reason=reason,
                 evicted=bool(keep) or reason != StopReason.BUDGET,
                 preemptions=slot.preemptions,
-                finished_at=time.monotonic())
+                finished_at=self._now(), sim=self.is_sim)
             if self.engine.persist_on_evict:
                 # the exported checkpoint doubles as the final durable
                 # state — a restart after this point replays nothing
@@ -532,6 +617,8 @@ class ArrayExecutor:
                 self.engine.queue.mark_completed(slot.sub, result)
                 self.jobs_served += 1
                 self._journal_state(slot.sub.job_id, JobState.COMPLETED)
+            self.engine.metrics.record_decision(
+                "retire", (result.job_id, reason, result.steps_trained))
             retired.append(result)
         self._deliver(retired)
 
@@ -543,10 +630,7 @@ class ArrayExecutor:
             self.evictions += early
             self.engine.metrics.record_eviction(early)
         if keep:
-            self.fused = split_fused(self.fused, keep)
-            self.optimizer = split_optimizer(
-                self.optimizer, self.fused.parameters(), keep)
-            self.criterion = self._make_criterion(len(keep))
+            self._narrow(keep)
             self.slots = [self.slots[i] for i in keep]
             self.state = ArrayState.STEPPING
             self._journal("evict", retired=[r.job_id for r in retired])
@@ -577,19 +661,7 @@ class ArrayExecutor:
                              f"{self.freed_width}")
         self.state = ArrayState.MERGING
         base = self.live_width
-        sub_model = subs[0].job.build_model(width, None)
-        load_from_unfused(sub_model, templates)
-        sub_opt = make_fused_optimizer(
-            sub_model, [sub.job.config for sub in subs], width)
-
-        merged = merge_fused(self.fused, sub_model)
-        merged_opt = merge_optimizers(self.optimizer, sub_opt,
-                                      merged.parameters())
-        # merge_fused/merge_optimizers never mutate their inputs, so a
-        # raise above leaves the live array untouched (failure isolation);
-        # past this point the swap is atomic
-        self.fused, self.optimizer = merged, merged_opt
-        self.criterion = self._make_criterion(self.live_width + width)
+        self._admit_fused(subs, templates)
         for sub, template in zip(subs, templates):
             self.engine.queue.mark_running(sub)
             self.slots.append(_Slot(sub=sub, template=template))
@@ -620,10 +692,7 @@ class ArrayExecutor:
         if other.state == ArrayState.PENDING:
             other.prepare()
         self.state = ArrayState.MERGING
-        merged = merge_fused(self.fused, other.fused)
-        merged_opt = merge_optimizers(self.optimizer, other.optimizer,
-                                      merged.parameters())
-        self.fused, self.optimizer = merged, merged_opt
+        self._merge_fused_state(other)
         self.slots.extend(other.slots)
         self.criterion = self._make_criterion(self.live_width)
 
@@ -679,9 +748,7 @@ class ArrayExecutor:
         self.state = ArrayState.EVICTING
 
         moved = [self.slots[i] for i in moving]
-        child_fused = split_fused(self.fused, moving)
-        child_opt = split_optimizer(self.optimizer,
-                                    child_fused.parameters(), moving)
+        child_fused, child_opt = self._split_out(moving)
         child_cohort = Cohort(
             signature=self.signature, infusible_values=(),
             steps=max(slot.job.steps for slot in moved),
@@ -692,8 +759,10 @@ class ArrayExecutor:
                                indices=list(range(len(moved))),
                                width_cap=self.width_cap,
                                device=self.device_name)
-        child = ArrayExecutor(engine=self.engine, plan=child_plan,
-                              array_id=self.engine._array_ids())
+        # type(self), not ArrayExecutor: a simulated array must detach
+        # into a simulated child
+        child = type(self)(engine=self.engine, plan=child_plan,
+                           array_id=self.engine._array_ids())
         # carry the live training state across (the constructor built
         # fresh slots; the originals keep progress/curves/preempt counts)
         child.slots = moved
@@ -706,10 +775,7 @@ class ArrayExecutor:
             slot.preemptions += 1
 
         keep = [i for i in range(self.live_width) if i not in set(moving)]
-        self.fused = split_fused(self.fused, keep)
-        self.optimizer = split_optimizer(
-            self.optimizer, self.fused.parameters(), keep)
-        self.criterion = self._make_criterion(len(keep))
+        self._narrow(keep)
         self.slots = [self.slots[i] for i in keep]
         self.state = ArrayState.STEPPING
         return child
@@ -767,7 +833,11 @@ class TrainingArrayEngine:
                  store: Optional[CheckpointStore] = None,
                  checkpoint_every: int = 0,
                  persist_on_evict: bool = True,
-                 recovery: Optional[RecoveryManager] = None):
+                 recovery: Optional[RecoveryManager] = None,
+                 execution: str = "real",
+                 clock=None,
+                 precision: str = "amp",
+                 default_workload: str = "pointnet_cls"):
         # `is not None`, not `or`: an empty JobQueue is falsy (__len__ == 0),
         # and a fleet passes its shared-but-empty queue at construction time
         self.queue = queue if queue is not None else JobQueue()
@@ -786,6 +856,22 @@ class TrainingArrayEngine:
         # every completed job durable
         self.persist_on_evict = persist_on_evict
         self.recovery = recovery
+        if execution not in ("real", "sim"):
+            raise ValueError(f"execution must be 'real' or 'sim', "
+                             f"got {execution!r}")
+        self.execution = execution
+        #: virtual-time backend state: a shared VirtualClock (fleet-wide
+        #: "now"), this device's own virtual timeline, the precision /
+        #: default workload the cost model prices epochs with, and a memo
+        #: of cost estimates keyed by (workload, width)
+        self.clock = clock
+        if execution == "sim" and self.clock is None:
+            from .sim import VirtualClock
+            self.clock = VirtualClock()
+        self.sim_time = float(self.clock.now()) if execution == "sim" else 0.0
+        self.sim_precision = precision
+        self.sim_workload = default_workload
+        self._sim_cost_cache: Dict[Tuple, object] = {}
         self._array_ids = array_ids or self._private_array_ids
         self._next_array_id = 0
         self._id_lock = threading.Lock()
@@ -853,7 +939,17 @@ class TrainingArrayEngine:
     # stepwise execution
     # ------------------------------------------------------------------ #
     def make_executor(self, plan: ArrayPlan) -> ArrayExecutor:
-        """A fresh executor for one placed plan (allocates the array id)."""
+        """A fresh executor for one placed plan (allocates the array id).
+
+        The ``execution`` switch is applied here: in ``"sim"`` mode every
+        array the engine creates is a :class:`repro.runtime.sim.
+        SimExecutor`, and the identical lifecycle code above it never
+        notices the difference.
+        """
+        if self.execution == "sim":
+            from .sim import SimExecutor
+            return SimExecutor(engine=self, plan=plan,
+                               array_id=self._array_ids())
         return ArrayExecutor(engine=self, plan=plan,
                              array_id=self._array_ids())
 
@@ -1007,4 +1103,7 @@ class TrainingArrayEngine:
                 self.queue.requeue(sub)
             executor.state = ArrayState.STEPPING
             return 0
+        self.metrics.record_decision(
+            "admit", (executor.array_id, tuple(s.job_id for s in subs)),
+            count=len(subs))
         return len(subs)

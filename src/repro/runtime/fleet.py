@@ -54,6 +54,7 @@ from .metrics import RuntimeMetrics
 from .placement import (DEFAULT_FLEET, DefragPolicy, FleetPlacer,
                         PlacementDecision)
 from .queue import JobQueue, JobState, TrainingJob
+from .sim import SimulatedCrash, VirtualClock
 
 __all__ = ["DeviceWorker", "FleetScheduler"]
 
@@ -127,7 +128,9 @@ class FleetScheduler:
                  checkpoint_every: int = 0,
                  persist_on_evict: bool = True,
                  recovery: Optional[RecoveryManager] = None,
-                 quarantine_cycles: int = 1):
+                 quarantine_cycles: int = 1,
+                 execution: str = "real",
+                 clock: Optional[VirtualClock] = None):
         # `is not None`, not `or`: an empty JobQueue is falsy (__len__ == 0)
         self.queue = queue if queue is not None else JobQueue()
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
@@ -139,6 +142,21 @@ class FleetScheduler:
         self.elastic = elastic
         self.defrag = defrag if elastic else None
         self.admission = admission
+        if execution not in ("real", "sim"):
+            raise ValueError(f"execution must be 'real' or 'sim', "
+                             f"got {execution!r}")
+        self.execution = execution
+        #: the fleet-wide virtual clock (sim mode); every per-device
+        #: engine advances it as its own timeline progresses, and the
+        #: gateway adopts it as its SLO clock
+        self.clock = clock
+        if execution == "sim" and self.clock is None:
+            self.clock = VirtualClock()
+        #: chaos-injection hook: ``chaos(device_name, executor) -> bool``
+        #: is consulted at every epoch boundary; returning True raises
+        #: :class:`SimulatedCrash`, killing the worker mid-array exactly
+        #: like a dead thread — the crash sweep and WAL recovery take over
+        self.chaos = None
         #: durable-checkpoint layer (repro.runtime.checkpoint): shared by
         #: every per-device engine; `recovery` additionally journals
         #: admissions (see submit) and lifecycle transitions to the WAL
@@ -187,7 +205,11 @@ class FleetScheduler:
                 batcher=self.batcher, array_ids=self._allocate_array_id,
                 elastic=elastic, store=store,
                 checkpoint_every=checkpoint_every,
-                persist_on_evict=persist_on_evict, recovery=recovery)
+                persist_on_evict=persist_on_evict, recovery=recovery,
+                execution=execution, clock=self.clock,
+                precision=getattr(self.placer, "precision", precision),
+                default_workload=getattr(self.placer, "default_workload",
+                                         default_workload))
             self.workers[device.name] = DeviceWorker(device, engine)
 
     def _allocate_array_id(self) -> int:
@@ -239,6 +261,8 @@ class FleetScheduler:
             max_jobs, key=policy.rank if policy is not None else None)
         if not batch:
             return []
+        self.metrics.record_decision(
+            "dequeue", tuple(sub.job_id for sub in batch), count=len(batch))
         cohorts, failures = self.batcher.form_cohorts(batch)
         for sub, error in failures:
             self.queue.mark_failed(sub, error)
@@ -267,6 +291,9 @@ class FleetScheduler:
                 if fallback is not None:
                     decision = self._reroute(decision, fallback)
             self.workers[decision.device_name].plans.append(decision)
+            self.metrics.record_decision(
+                "place", (decision.device_name,
+                          tuple(sub.job_id for sub in decision.plan.jobs)))
         return self._run_workers()
 
     def run_until_idle(self) -> Dict[int, JobResult]:
@@ -298,7 +325,14 @@ class FleetScheduler:
         every handler), so their in-memory array state is untrusted — the
         jobs are recovered from the durable checkpoint store instead
         (:meth:`_recover_crashed`).
+
+        In ``execution="sim"`` mode the thread pool is replaced by a
+        deterministic serial scheduler over virtual device timelines
+        (:meth:`_run_workers_sim`); everything around it — quarantine
+        bookkeeping, the crash sweep, the orphan flush — is shared.
         """
+        if self.execution == "sim":
+            return self._run_workers_sim()
         results: List[JobResult] = []
         results_lock = threading.Lock()
         with self._dispatch_lock:
@@ -319,6 +353,13 @@ class FleetScheduler:
             thread.start()
         for thread in threads:
             thread.join()
+        return self._finish_cycle(results)
+
+    def _finish_cycle(self, results: List[JobResult]) -> List[JobResult]:
+        """End-of-cycle sweep shared by both execution backends:
+        tick quarantines, detect crashed workers (in-flight registrations
+        that were never cleared), and flush orphans.
+        """
         with self._dispatch_lock:
             for name in list(self._quarantined):
                 self._quarantined[name] -= 1
@@ -336,6 +377,110 @@ class FleetScheduler:
                 next(iter(self.workers.values()))
             results.extend(worker.engine.run_executor(executor))
         return results
+
+    def _run_workers_sim(self) -> List[JobResult]:
+        """Virtual-time replacement for the worker thread pool.
+
+        Devices run *serially but interleaved in virtual time*: each
+        round, the non-crashed worker with the earliest virtual timeline
+        (``engine.sim_time``) that has work runs its next item to
+        completion, advancing its own timeline and the shared clock.  This
+        visits work in the order concurrent devices would finish it, so
+        defrag/adoption interactions and the fleet makespan mirror the
+        threaded backend — deterministically, with no thread scheduler in
+        the loop.
+
+        A device whose timeline lags the cycle start (it sat idle while
+        arrivals accumulated) first jumps forward to the cycle-start
+        clock: idle time passes, it is never rewound.
+        """
+        results: List[JobResult] = []
+        with self._dispatch_lock:
+            if self._quarantined and \
+                    len(self._quarantined) >= len(self.workers):
+                self._quarantined.clear()
+            healthy = {name: worker for name, worker in self.workers.items()
+                       if name not in self._quarantined}
+        self._live_workers = set(healthy)
+        floor = self.clock.now()
+        dead: set = set()
+        while True:
+            with self._dispatch_lock:
+                busy = [worker for name, worker in healthy.items()
+                        if name not in dead and worker.plans]
+                pooled = bool(self._straggler_pool)
+            if busy:
+                worker = min(busy,
+                             key=lambda w: (w.engine.sim_time, w.name))
+                item = self._take(worker)
+            elif pooled:
+                # no queued plans anywhere, but paused stragglers remain:
+                # let idle devices adopt them (freed-width work stealing),
+                # earliest timeline first
+                item = None
+                for worker in sorted(
+                        (w for name, w in healthy.items()
+                         if name not in dead),
+                        key=lambda w: (w.engine.sim_time, w.name)):
+                    item = self._take(worker)
+                    if item is not None:
+                        break
+            else:
+                break
+            if item is None:
+                break
+            # _take marks workers that returned None as exited; in the
+            # serial backend every healthy non-crashed device stays a
+            # legal migration target until the cycle ends
+            self._live_workers = {name for name in healthy
+                                  if name not in dead}
+            engine = worker.engine
+            engine.sim_time = max(engine.sim_time, floor)
+            if self._run_item_sim(worker, item, results):
+                dead.add(worker.name)
+                self._live_workers.discard(worker.name)
+        return self._finish_cycle(results)
+
+    def _run_item_sim(self, worker: DeviceWorker, item: WorkItem,
+                      results: List[JobResult]) -> bool:
+        """Run one work item on a simulated device; True if it crashed.
+
+        Mirrors ``_worker_loop`` exactly: stepping registration, in-flight
+        crash tracking (a :class:`SimulatedCrash` leaves the registration
+        behind for the crash sweep, like a dead thread would), failure
+        isolation for ordinary exceptions.
+        """
+        self.heartbeats[worker.name] = self._heartbeat_now()
+        if isinstance(item, PlacementDecision):
+            executor = worker.engine.make_executor(item.plan)
+        else:
+            executor = item
+            executor.device_name = worker.name
+        key = executor.compat_key
+        with self._dispatch_lock:
+            self._stepping[key] = self._stepping.get(key, 0) + 1
+            self._inflight[worker.name] = executor
+        crashed = False
+        out: List[JobResult] = []
+        try:
+            out = worker.engine.run_executor(
+                executor,
+                after_epoch=lambda ex, w=worker: self._after_epoch(w, ex))
+        except SimulatedCrash:
+            crashed = True       # _inflight entry stays: the crash sweep
+            out = []             # recovers the jobs from durable state
+        except Exception:  # noqa: BLE001 — worker must outlive any array
+            self.metrics.record_array_failure()
+            out = executor.take_results()
+        finally:
+            with self._dispatch_lock:
+                if not executor.paused:
+                    self._stepping[key] -= 1
+        if not crashed:
+            with self._dispatch_lock:
+                self._inflight.pop(worker.name, None)
+        results.extend(out)
+        return crashed
 
     def _recover_crashed(self, name: str, executor: ArrayExecutor) -> None:
         """Quarantine a crashed worker's device and recover its jobs.
@@ -394,10 +539,14 @@ class FleetScheduler:
                 executor.paused = False
             return orphans
 
+    def _heartbeat_now(self) -> float:
+        """The liveness clock: virtual in sim mode, monotonic otherwise."""
+        return self.clock() if self.clock is not None else time.monotonic()
+
     def _worker_loop(self, worker: DeviceWorker, results: List[JobResult],
                      results_lock: threading.Lock) -> None:
         while True:
-            self.heartbeats[worker.name] = time.monotonic()
+            self.heartbeats[worker.name] = self._heartbeat_now()
             item = self._take(worker)
             if item is None:
                 return
@@ -444,7 +593,13 @@ class FleetScheduler:
         Returns ``"detach"`` when the executor left this thread (paused
         into the pool, or re-placed onto another device after a merge).
         """
-        self.heartbeats[worker.name] = time.monotonic()
+        self.heartbeats[worker.name] = self._heartbeat_now()
+        if self.chaos is not None and self.chaos(worker.name, executor):
+            # injected device failure: a BaseException passes through the
+            # runtime's except-Exception isolation and kills the worker
+            # mid-array, leaving its in-flight registration for the crash
+            # sweep — identical to a worker thread dying for real
+            raise SimulatedCrash(f"chaos hook killed device {worker.name}")
         if not self.elastic:
             return None
         # freed-width admission from the shared queue (emits freed
@@ -533,6 +688,9 @@ class FleetScheduler:
         detached = executor.detach_slots(victims)
         for slot in detached.slots:
             self.metrics.record_preemption(slot.job.tenant)
+        self.metrics.record_decision(
+            "preempt", tuple(slot.sub.job_id for slot in detached.slots),
+            count=len(detached.slots))
         with self._dispatch_lock:
             worker.plans.append(detached)
         worker.engine.refill_from_queue(executor, device_cap=device_cap,
@@ -580,13 +738,43 @@ class FleetScheduler:
         if executor.solo or not self.defrag.underfilled(executor):
             return None
         key = executor.compat_key
+        # serial sim execution never has two arrays stepping at once, so
+        # the "compatible peer is stepping" signal is widened to "a
+        # compatible peer is queued and will step later this cycle"
+        absorber = (self.execution == "sim"
+                    and self._sim_absorber_queued(executor))
         with self._dispatch_lock:
-            if self._stepping.get(key, 0) < 2:
+            if self._stepping.get(key, 0) < 2 and not absorber:
                 return None          # nobody would absorb it; keep going
             self._stepping[key] -= 1
             executor.paused = True
             self._straggler_pool.append(executor)
         return "detach"
+
+    def _sim_absorber_queued(self, executor: ArrayExecutor) -> bool:
+        """Whether a compatible work item is waiting in any device queue
+        (the sim backend's absorber-exists signal for pausing).  The
+        compat key of a not-yet-launched plan is computed once and cached
+        on the plan."""
+        key = executor.compat_key
+        with self._dispatch_lock:
+            items = [item for w in self.workers.values()
+                     for item in w.plans]
+        for item in items:
+            if isinstance(item, ArrayExecutor):
+                if item is not executor and item.compat_key == key:
+                    return True
+                continue
+            plan_key = getattr(item.plan, "_compat_key", None)
+            if plan_key is None:
+                sub = item.plan.jobs[0]
+                plan_key = (self.batcher.admission_profile(sub),
+                            structural_signature(item.plan.templates[0]),
+                            sub.job.loss)
+                item.plan._compat_key = plan_key
+            if plan_key == key:
+                return True
+        return False
 
     # ------------------------------------------------------------------ #
     # taking work: own queue, straggler adoption, then stealing
@@ -670,11 +858,17 @@ class FleetScheduler:
         :meth:`RecoveryManager.rebuild_fleet`) recovers them — see
         ``docs/operations.md`` for the runbook.
         """
-        now = time.monotonic()
+        now = self._heartbeat_now()
         with self._dispatch_lock:
             inflight = dict(self._inflight)
         return [name for name in inflight
                 if now - self.heartbeats.get(name, now) > timeout]
+
+    def virtual_makespan(self) -> float:
+        """The fleet-wide virtual finish time (sim mode): the furthest
+        any device's timeline has advanced.  Zero before any work ran."""
+        return max((worker.engine.sim_time
+                    for worker in self.workers.values()), default=0.0)
 
     def quarantined_devices(self) -> List[str]:
         """Devices currently quarantined after a crash (no new work)."""

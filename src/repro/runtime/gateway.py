@@ -208,6 +208,13 @@ class ServingGateway:
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         self.max_pending = max_pending
+        # a simulated fleet carries the authoritative clock: adopt it
+        # (unless the caller injected their own), so SLO deadlines, token
+        # buckets and placement slack all read virtual time
+        if clock is time.monotonic \
+                and getattr(self.fleet, "execution", "real") == "sim" \
+                and self.fleet.clock is not None:
+            clock = self.fleet.clock
         self.clock = clock
         self.queue = self.fleet.queue
         self.metrics = self.fleet.metrics
@@ -463,6 +470,19 @@ class ServingGateway:
     # ------------------------------------------------------------------ #
     # serving
     # ------------------------------------------------------------------ #
+    def run_cycle(self, max_jobs: int = 0) -> List[JobResult]:
+        """One fleet scheduling cycle with SLO settlement.
+
+        The building block of trace replay (:class:`repro.runtime.sim.
+        TraceReplayer`): arrivals interleave with cycles, so the gateway
+        must settle and prune incrementally rather than only at idle.
+        """
+        results = self.fleet.run_cycle(max_jobs)
+        for result in results:
+            self._settle_slo(result)
+        self._prune_tracked()
+        return results
+
     def run_until_idle(self) -> Dict[int, JobResult]:
         """Drain the admitted backlog through the fleet, then settle SLOs.
 
@@ -556,8 +576,11 @@ class ServingGateway:
             return
         track.slo_recorded = True
         # finished_at is monotonic; shift it into gateway-clock
-        # coordinates before comparing (a no-op under the default clock)
-        finished = result.finished_at - track.clock_offset
+        # coordinates before comparing (a no-op under the default clock).
+        # A simulated result is already in virtual-clock coordinates —
+        # the gateway clock itself — so no translation applies.
+        finished = result.finished_at if result.sim \
+            else result.finished_at - track.clock_offset
         self.metrics.record_slo(track.tenant, hit=finished <= track.deadline)
 
     def report(self) -> Tuple[List[Tuple], Tuple[str, ...]]:

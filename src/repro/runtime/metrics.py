@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["ArrayRecord", "RuntimeMetrics"]
 
@@ -117,6 +117,14 @@ class RuntimeMetrics:
         #: arrays executed by a device other than the one the placer chose
         #: (idle-device work stealing)
         self.plans_stolen = 0
+        #: scheduler decisions taken (dequeues, placements, admissions,
+        #: retirements, preemptions) — the scale benchmark's throughput
+        #: numerator.  ``decision_log`` is off by default (a 100k-job sim
+        #: would hold 100k+ tuples); :meth:`enable_decision_log` turns it
+        #: on for the real-vs-sim equivalence test, which compares the
+        #: exact decision sequences of both backends
+        self.scheduler_decisions = 0
+        self.decision_log: Optional[List[Tuple[str, Tuple]]] = None
 
     # ------------------------------------------------------------------ #
     # recording
@@ -181,6 +189,30 @@ class RuntimeMetrics:
         """An idle device stole a plan from another device's queue."""
         with self._lock:
             self.plans_stolen += 1
+
+    def enable_decision_log(self) -> None:
+        """Start keeping the ordered (kind, payload) decision trace."""
+        with self._lock:
+            if self.decision_log is None:
+                self.decision_log = []
+
+    def record_decision(self, kind: str, payload: Tuple = (),
+                        count: int = 1) -> None:
+        """One scheduler decision (``count`` jobs affected); appends to
+        the decision trace when :meth:`enable_decision_log` turned it on."""
+        with self._lock:
+            self.scheduler_decisions += count
+            if self.decision_log is not None:
+                self.decision_log.append((kind, tuple(payload)))
+
+    def decisions(self, *kinds: str) -> "List[Tuple[str, Tuple]]":
+        """The decision trace, optionally filtered to the given kinds."""
+        with self._lock:
+            log = list(self.decision_log or ())
+        if not kinds:
+            return log
+        wanted = set(kinds)
+        return [entry for entry in log if entry[0] in wanted]
 
     # ------------------------------------------------------------------ #
     # durability (checkpointing and crash recovery)
@@ -501,6 +533,7 @@ class RuntimeMetrics:
             "throughput_samples_per_s": self.throughput,
             "wall_seconds": self.wall_seconds,
             "plans_stolen": self.plans_stolen,
+            "scheduler_decisions": self.scheduler_decisions,
             "checkpoints_written": self.checkpoints_written,
             "checkpoint_payload_bytes": self.checkpoint_payload_bytes,
             "checkpoint_bytes_written": self.checkpoint_bytes_written,

@@ -27,7 +27,7 @@ independently — possibly on a different device.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import astuple, dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hfht.partition import Partition, split_oversized
@@ -38,11 +38,30 @@ from .batcher import Cohort
 from .policy import ArrayPlan
 
 __all__ = ["DEFAULT_FLEET", "PlacementDecision", "FleetPlacer",
-           "DefragPolicy"]
+           "DefragPolicy", "synthetic_fleet"]
 
 #: the paper's evaluation devices (Tables 2-4): three generations of NVIDIA
 #: data-center GPUs plus a TPU v3 core — a deliberately heterogeneous fleet
 DEFAULT_FLEET: Tuple[DeviceSpec, ...] = (V100, RTX6000, A100, TPU_V3)
+
+
+def synthetic_fleet(num_devices: int,
+                    base: Sequence[DeviceSpec] = DEFAULT_FLEET
+                    ) -> Tuple[DeviceSpec, ...]:
+    """A ``num_devices``-strong fleet of uniquely named replicas cycling
+    through ``base`` — the scale-testing fleet builder (1k+ simulated
+    devices).  Replicas share their base spec's cost-model profile, which
+    the placer's caches collapse: costing a 4096-device fleet is no more
+    work than costing its 4 distinct device types."""
+    if num_devices < 1:
+        raise ValueError("num_devices must be >= 1")
+    base = tuple(base)
+    if not base:
+        raise ValueError("base fleet must not be empty")
+    return tuple(
+        replace(base[i % len(base)],
+                name=f"{base[i % len(base)].name.lower()}-{i:04d}")
+        for i in range(num_devices))
 
 
 @dataclass
@@ -101,6 +120,46 @@ class FleetPlacer:
         names = [d.name for d in self.devices]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate device names in fleet: {names}")
+        # the cost model is a pure function of (workload, device profile,
+        # width, steps) and train_seconds is linear in steps, so every
+        # projection is served from per-profile caches after first
+        # computation.  A synthetic_fleet of thousands of replicated
+        # devices collapses to its handful of distinct profiles — the
+        # difference between O(fleet) and O(device types) per decision,
+        # and what keeps 100k-job simulations inside a test budget.
+        self._profile_keys: Dict[str, Tuple] = {
+            d.name: astuple(d)[1:] for d in self.devices}
+        self._cap_cache: Dict[Tuple, int] = {}
+        self._est_cache: Dict[Tuple, ArrayCostEstimate] = {}
+        self._replan_cache: Dict[Tuple, Tuple[DeviceSpec,
+                                              ArrayCostEstimate]] = {}
+
+    # ------------------------------------------------------------------ #
+    # cost-model caching
+    # ------------------------------------------------------------------ #
+    def _profile_key(self, device: DeviceSpec) -> Tuple:
+        """The device's cost-model identity (every field but the name)."""
+        key = self._profile_keys.get(device.name)
+        return key if key is not None else astuple(device)[1:]
+
+    def _base_estimate(self, workload: WorkloadSpec, device: DeviceSpec,
+                       width: int) -> ArrayCostEstimate:
+        """The memoized steps=1 projection; scale with :meth:`_scaled`."""
+        key = (workload.name, self._profile_key(device), width)
+        est = self._est_cache.get(key)
+        if est is None:
+            est = estimate_array_cost(_CostProbe(width, 1), device,
+                                      self.precision, workload=workload)
+            self._est_cache[key] = est
+        return est
+
+    @staticmethod
+    def _scaled(base: ArrayCostEstimate, device: DeviceSpec,
+                steps: int) -> ArrayCostEstimate:
+        """A cached base estimate re-stamped for ``device`` and ``steps``
+        (train_seconds is the only steps-dependent field)."""
+        return replace(base, device=device.name, steps=steps,
+                       train_seconds=steps * base.iteration_time_s)
 
     # ------------------------------------------------------------------ #
     def resolve_workload(self, cohort_or_plan) -> WorkloadSpec:
@@ -110,8 +169,13 @@ class FleetPlacer:
 
     def width_cap(self, workload: WorkloadSpec, device: DeviceSpec) -> int:
         """Effective array-width limit of ``device`` for ``workload``."""
-        memory_cap = max_models(workload, device, "hfta", self.precision)
-        return min(self.max_width, memory_cap)
+        key = (workload.name, self._profile_key(device))
+        cap = self._cap_cache.get(key)
+        if cap is None:
+            memory_cap = max_models(workload, device, "hfta", self.precision)
+            cap = min(self.max_width, memory_cap)
+            self._cap_cache[key] = cap
+        return cap
 
     def fits(self, plan: ArrayPlan, device: DeviceSpec) -> bool:
         """Whether ``plan`` fits ``device`` (work-stealing eligibility)."""
@@ -121,8 +185,9 @@ class FleetPlacer:
     def estimate(self, plan: ArrayPlan,
                  device: DeviceSpec) -> ArrayCostEstimate:
         """Cost-model projection of ``plan`` on ``device``."""
-        return estimate_array_cost(plan, device, self.precision,
-                                   workload=self.resolve_workload(plan))
+        base = self._base_estimate(self.resolve_workload(plan), device,
+                                   plan.num_models)
+        return self._scaled(base, device, max(1, getattr(plan, "steps", 1)))
 
     def fits_width(self, workload_hint: Optional[str], num_models: int,
                    device: DeviceSpec) -> bool:
@@ -169,21 +234,28 @@ class FleetPlacer:
         so the device the cost model would pick may change with it.
         """
         workload = get_workload(workload_hint or self.default_workload)
-        best = None
-        for device in self.devices:
-            if self.width_cap(workload, device) < num_models:
-                continue
-            est = estimate_array_cost(
-                _CostProbe(num_models, max(1, steps)), device,
-                self.precision, workload=workload)
-            key = (est.train_seconds, -est.throughput)
-            if best is None or key < best[0]:
-                best = (key, device, est)
-        if best is None:
-            raise RuntimeError(
-                f"no device in the fleet fits a width-{num_models} "
-                f"'{workload.name}' array under HFTA")
-        return best[1], best[2]
+        steps = max(1, steps)
+        # the winning device is steps-independent (train_seconds is linear
+        # in steps), so the whole device scan caches per (workload, width)
+        cache_key = (workload.name, num_models)
+        hit = self._replan_cache.get(cache_key)
+        if hit is None:
+            best = None
+            for device in self.devices:
+                if self.width_cap(workload, device) < num_models:
+                    continue
+                base = self._base_estimate(workload, device, num_models)
+                key = (base.iteration_time_s, -base.throughput)
+                if best is None or key < best[0]:
+                    best = (key, device, base)
+            if best is None:
+                raise RuntimeError(
+                    f"no device in the fleet fits a width-{num_models} "
+                    f"'{workload.name}' array under HFTA")
+            hit = (best[1], best[2])
+            self._replan_cache[cache_key] = hit
+        device, base = hit
+        return device, self._scaled(base, device, steps)
 
     # ------------------------------------------------------------------ #
     def place(self, cohorts: Sequence[Cohort],
@@ -252,28 +324,40 @@ class FleetPlacer:
         re-ranked with the updated load.
         """
         best = None
+        # the per-device projection depends only on the device *profile*
+        # (identical replicas share it); only the load term is per-device
+        profiles: Dict[Tuple, Tuple] = {}
         for device in self.devices:
-            cap = self.width_cap(workload, device)
+            pk = self._profile_key(device)
+            entry = profiles.get(pk)
+            if entry is None:
+                cap = self.width_cap(workload, device)
+                if cap < 1:
+                    entry = (0, None, 0.0)
+                else:
+                    widths = [cap] * (num_models // cap)
+                    if num_models % cap:
+                        widths.append(num_models % cap)
+                    bases = {w: self._base_estimate(workload, device, w)
+                             for w in set(widths)}
+                    total = cohort.steps * sum(
+                        bases[w].iteration_time_s for w in widths)
+                    entry = (cap, bases[widths[0]], total)
+                profiles[pk] = entry
+            cap, first_base, total_seconds = entry
             if cap < 1:
                 continue        # device cannot fit even one model
-            widths = [cap] * (num_models // cap)
-            if num_models % cap:
-                widths.append(num_models % cap)
-            estimates = {w: estimate_array_cost(
-                _CostProbe(w, cohort.steps), device, self.precision,
-                workload=workload) for w in set(widths)}
-            finish = load[device.name] + sum(
-                estimates[w].train_seconds for w in widths)
-            first = estimates[widths[0]]
-            key = (finish, -first.throughput)
+            finish = load[device.name] + total_seconds
+            key = (finish, -first_base.throughput)
             if best is None or key < best[0]:
-                best = (key, device, cap, first)
+                best = (key, device, cap, first_base)
         if best is None:
             raise RuntimeError(
                 f"no device in the fleet can fit a single '{workload.name}' "
                 f"model under HFTA "
                 f"(devices: {[d.name for d in self.devices]})")
-        return best[1], best[2], best[3]
+        return (best[1], best[2],
+                self._scaled(best[3], best[1], cohort.steps))
 
 
 @dataclass(frozen=True)

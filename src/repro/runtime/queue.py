@@ -142,6 +142,14 @@ class TrainingJob:
         it to the analytical cost model to pick the device and fusion
         width; jobs with different hints never share an array.  Ignored by
         the single-device engine.
+    sim_loss:
+        Optional synthetic loss curve for the simulation backend
+        (:mod:`repro.runtime.sim`): ``sim_loss(step) -> float`` replaces
+        real training losses when the job runs under ``execution="sim"``,
+        so convergence stops (``target_loss``, ``stop``) trigger on a
+        curve the test controls.  Defaults to
+        :func:`repro.runtime.sim.default_sim_loss`; ignored entirely in
+        real execution.
     """
 
     name: str
@@ -160,6 +168,7 @@ class TrainingJob:
     epoch_steps: int = 1
     target_loss: Optional[float] = None
     stop: Optional[Callable[[int, List[float]], bool]] = None
+    sim_loss: Optional[Callable[[int], float]] = None
 
     def __post_init__(self):
         if self.steps < 1:

@@ -1,0 +1,294 @@
+"""Virtual-time simulation backend for the training-array runtime.
+
+The elastic runtime's control plane — admission, placement, eviction,
+defragmentation, preemption, checkpointing, crash recovery — has until now
+only ever been exercised by *actually training* numpy models, which caps
+any test at tens of jobs.  This module replaces the training physics with
+the analytical device model that already prices placements
+(:func:`repro.hwsim.estimate_array_cost`) and replaces the wall clock with
+an injectable :class:`VirtualClock`, so a single process can push hundreds
+of thousands of jobs across thousands of simulated devices through the
+*identical* lifecycle code in seconds.
+
+Three pieces:
+
+* :class:`VirtualClock` — a monotonic, thread-safe virtual ``now``.  It is
+  callable, so it drops straight into every seam that already accepts an
+  injectable clock (``ServingGateway(clock=...)``, token buckets, SLO
+  settlement, heartbeats).
+* :class:`SimExecutor` — an :class:`~repro.runtime.engine.ArrayExecutor`
+  whose *physics hooks* are overridden: ``_run_epoch`` advances the
+  device's virtual timeline by ``steps * iteration_time_s`` from the cost
+  model instead of running a train loop, loss curves come from a
+  deterministic synthetic decay (or the job's own ``sim_loss`` callable),
+  and the fuse/merge/split/export tensor operations become no-ops.  All
+  lifecycle transitions, stop signals, accounting, journaling and
+  checkpoint-manifest writes run unchanged.
+* :class:`TraceReplayer` — feeds a timestamped arrival trace (e.g. from
+  :func:`repro.cluster.generator.generate_serving_trace`) into a
+  :class:`~repro.runtime.gateway.ServingGateway`, advancing the virtual
+  clock to the next arrival whenever the fleet goes idle.
+
+Chaos testing: :class:`SimulatedCrash` is a ``BaseException`` so it passes
+through the runtime's ``except Exception`` quarantine handlers untouched;
+the fleet's ``chaos`` hook raises it at an epoch boundary to kill a
+device mid-array, exercising the same crash-detection/WAL-recovery path a
+dead worker thread does (see docs/simulation.md).
+
+Determinism: given the same jobs, fleet and seeds, a simulation is fully
+deterministic — the fleet runs simulated devices with a serial virtual
+scheduler (no threads), synthetic losses are pure functions of the step
+index, and every queue/placement tie-break is already deterministic.  The
+real-vs-sim equivalence test pins this down: both backends emit identical
+scheduling decision sequences for the same trace.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..hwsim import V100, estimate_array_cost, get_workload
+from ..nn.modules.module import Module
+from .engine import ArrayExecutor, _Slot
+from .queue import SubmittedJob, TrainingJob
+
+__all__ = ["VirtualClock", "SimulatedCrash", "SimExecutor", "TraceReplayer",
+           "default_sim_loss"]
+
+#: standalone sim engines (no fleet, no device) price epochs on the
+#: paper's baseline evaluation GPU
+DEFAULT_SIM_DEVICE = V100
+
+
+class VirtualClock:
+    """A monotonic virtual ``now`` shared by every simulated component.
+
+    Callable (``clock()``), so it is a drop-in for ``time.monotonic`` at
+    every injectable-clock seam.  Time only moves when something advances
+    it: each simulated device pushes the clock to its own timeline as it
+    finishes epochs, and the trace replayer jumps it to the next arrival
+    when the fleet drains.  ``advance_to`` never moves backwards, so
+    concurrent device timelines fold into one monotonic fleet-wide "now".
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._lock = threading.Lock()
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self.now()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (>= 0); returns the new now."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time backwards ({seconds})")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to ``timestamp`` if ahead; returns now."""
+        with self._lock:
+            self._now = max(self._now, float(timestamp))
+            return self._now
+
+
+class SimulatedCrash(BaseException):
+    """Injected device failure (the fleet's ``chaos`` hook raises this).
+
+    Deliberately a ``BaseException``: the runtime isolates *array*
+    failures with ``except Exception`` (quarantine-then-recover), and a
+    simulated device crash must not be absorbed by that machinery — it
+    kills the whole worker, exactly like a real dead worker thread, and
+    is detected by the fleet's crash sweep over ``_inflight``.
+    """
+
+
+def default_sim_loss(job: TrainingJob, step: int) -> float:
+    """Deterministic synthetic training loss: a monotone decay whose
+    scale/rate derive from the job's seed, so different jobs produce
+    different (but reproducible) curves and ``target_loss`` stop signals
+    have something meaningful to trigger on."""
+    base = 2.0 + (job.seed % 5) * 0.5
+    rate = 0.05 + (job.seed % 7) * 0.02
+    return base / (1.0 + rate * (step + 1))
+
+
+@dataclass(frozen=True)
+class _WidthProbe:
+    """Duck-typed plan for costing a hypothetical array width."""
+
+    num_models: int
+    steps: int
+
+
+class SimExecutor(ArrayExecutor):
+    """An array executor that *simulates* training in virtual time.
+
+    Created by :meth:`TrainingArrayEngine.make_executor` when the engine
+    runs with ``execution="sim"``.  Only the physics hooks differ from
+    :class:`ArrayExecutor`; every lifecycle decision above them — stop
+    signals, eviction order, freed-width admission, defrag merges,
+    preemption splits, checkpoint cadence, WAL journaling — is inherited
+    verbatim, which is the point: the control plane under test is the real
+    one.
+
+    One epoch costs ``steps * iteration_time_s`` of virtual time at the
+    array's current width, priced by :func:`repro.hwsim.
+    estimate_array_cost` for the engine's device (estimates are memoized
+    per (workload, width) on the engine).  The device's timeline
+    (``engine.sim_time``) advances by that amount and drags the shared
+    :class:`VirtualClock` forward, so SLO deadlines, token buckets and
+    placement slack all see consistent virtual time.
+    """
+
+    is_sim = True
+
+    # ------------------------------------------------------------------ #
+    # physics hooks: cost-model projections instead of tensor math
+    # ------------------------------------------------------------------ #
+    def _build_fused(self, jobs: Sequence[SubmittedJob],
+                     templates: Sequence[Module]) -> None:
+        # no fused model is materialized; the templates stand in for the
+        # per-job checkpoints and the criterion/optimizer stay None
+        self.fused = None
+        self.optimizer = None
+        self.criterion = None
+
+    def _make_criterion(self, num_models: int):
+        return None
+
+    def _cost_estimate(self, width: int):
+        engine = self.engine
+        workload_name = self.workload or engine.sim_workload
+        key = (workload_name, width)
+        est = engine._sim_cost_cache.get(key)
+        if est is None:
+            device = engine.device if engine.device is not None \
+                else DEFAULT_SIM_DEVICE
+            est = estimate_array_cost(
+                _WidthProbe(width, 1), device, engine.sim_precision,
+                workload=get_workload(workload_name))
+            engine._sim_cost_cache[key] = est
+        return est
+
+    def _run_epoch(self, steps: int) -> float:
+        est = self._cost_estimate(self.live_width)
+        seconds = steps * est.iteration_time_s
+        for slot in self.slots:
+            job = slot.job
+            start = slot.progress
+            fn = getattr(job, "sim_loss", None)
+            if fn is not None:
+                slot.curve.extend(fn(start + i) for i in range(steps))
+            else:
+                slot.curve.extend(default_sim_loss(job, start + i)
+                                  for i in range(steps))
+        self.samples += int(est.throughput * seconds)
+        engine = self.engine
+        engine.sim_time += seconds
+        if engine.clock is not None:
+            engine.clock.advance_to(engine.sim_time)
+        return seconds
+
+    def _export_slot(self, index: int, slot: _Slot) -> Module:
+        # simulated training never changes weights: the slot's template IS
+        # its checkpoint (progress/curves are the state that matters here)
+        return slot.template
+
+    def _export_optimizer_state(self, index: int) -> Dict:
+        return {}
+
+    def _load_resume_state(self, index: int, resume) -> None:
+        # no optimizer to inject into; _apply_resume still fast-forwards
+        # progress and the loss curve, which is the whole training state
+        # a simulated job carries
+        pass
+
+    def _narrow(self, keep: Sequence[int]) -> None:
+        pass
+
+    def _admit_fused(self, subs: Sequence[SubmittedJob],
+                     templates: Sequence[Module]) -> None:
+        pass
+
+    def _merge_fused_state(self, other: ArrayExecutor) -> None:
+        pass
+
+    def _split_out(self, moving: Sequence[int]) -> Tuple:
+        return None, None
+
+    def _now(self) -> float:
+        # the device's own timeline, not the global clock: a result
+        # finishes when ITS device finishes the epoch, even if another
+        # device has already simulated further ahead
+        return self.engine.sim_time
+
+
+class TraceReplayer:
+    """Replays a timestamped arrival trace into a serving gateway.
+
+    ``events`` are duck-typed arrivals (``time_s`` plus whatever the
+    ``job_factory`` needs — :class:`repro.cluster.generator.ArrivalEvent`
+    fits); ``job_factory(event)`` builds the :class:`TrainingJob` to
+    submit.  The replay loop alternates between releasing every arrival
+    due at the current virtual time and running gateway scheduling cycles;
+    when the fleet drains with arrivals still ahead, the clock jumps to
+    the next arrival (plus ``cycle_quantum_s``, which batches arrivals
+    into periodic scheduler wake-ups the way a production control loop
+    would, instead of one cycle per lone arrival).
+
+    Returns per-job results keyed by job id; shed submissions are kept in
+    ``rejected`` with their tickets for assertion.
+    """
+
+    def __init__(self, gateway, events: Sequence,
+                 job_factory: Callable[[object], TrainingJob],
+                 cycle_quantum_s: float = 0.0):
+        clock = gateway.clock
+        if not isinstance(clock, VirtualClock):
+            raise TypeError("TraceReplayer needs a gateway on a "
+                            "VirtualClock (build the fleet with "
+                            "execution='sim')")
+        if cycle_quantum_s < 0:
+            raise ValueError("cycle_quantum_s must be >= 0")
+        self.gateway = gateway
+        self.clock = clock
+        self.events = sorted(events, key=lambda e: e.time_s)
+        self.job_factory = job_factory
+        self.cycle_quantum_s = cycle_quantum_s
+        self.results: Dict[int, object] = {}
+        self.tickets: List = []
+        self.rejected: List[Tuple[object, object]] = []
+
+    def run(self) -> Dict[int, object]:
+        """Replay the whole trace; returns results keyed by job id."""
+        events = self.events
+        index = 0
+        while True:
+            while index < len(events) \
+                    and events[index].time_s <= self.clock.now():
+                event = events[index]
+                index += 1
+                job = self.job_factory(event)
+                ticket = self.gateway.submit(
+                    job, tenant=getattr(event, "tenant", None),
+                    deadline_s=getattr(event, "deadline_s", None))
+                self.tickets.append(ticket)
+                if not ticket.admitted:
+                    self.rejected.append((event, ticket))
+            if self.gateway.queue.pending_count:
+                for result in self.gateway.run_cycle():
+                    self.results[result.job_id] = result
+                continue
+            if index < len(events):
+                self.clock.advance_to(
+                    events[index].time_s + self.cycle_quantum_s)
+                continue
+            return self.results

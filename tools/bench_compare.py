@@ -16,7 +16,11 @@ Two artifact families, two comparison strategies:
   **BENCH_checkpoint.json** (the durability artifact) is gated the same
   way — jobs recovered and recovery integrity must not drop, and bytes
   per checkpoint must not *grow* past the threshold; its wall-clock
-  latencies are reported but not gated.
+  latencies are reported but not gated.  **BENCH_scale.json** (the
+  virtual-time scale harness: 100k simulated jobs over a 1k-device
+  fleet) gates its bit-reproducible metrics — oracle speedup, completed
+  jobs, scheduler decisions must not drop, and the SLO-miss rate must
+  not grow from its 0.0 baseline.
 
 * **BENCH_runtime.json** is wall-clock timings, and CI runners are not
   the machine the baseline was recorded on.  Raw means are therefore
@@ -53,7 +57,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
 ARTIFACTS = ("BENCH_runtime.json", "BENCH_elastic.json",
-             "BENCH_checkpoint.json")
+             "BENCH_checkpoint.json", "BENCH_scale.json")
 
 #: BENCH_elastic.json metrics under gate; all are higher-is-better and
 #: machine-independent (ratios of deterministic slot-step counters)
@@ -70,6 +74,18 @@ ELASTIC_METRICS = ("static_efficiency", "elastic_efficiency",
 #: and too short for the median-normalization trick to stabilize.
 CHECKPOINT_METRICS_HIGHER = ("jobs_recovered", "recovery_integrity")
 CHECKPOINT_METRICS_LOWER = ("bytes_per_checkpoint",)
+
+#: BENCH_scale.json metrics under gate — the virtual-time subset of the
+#: scale artifact, bit-reproducible across machines: the fused fleet's
+#: speedup over the cost model's serial oracle, the completed-job count
+#: and the scheduler-decision count must not drop, and the SLO-miss rate
+#: must not grow (its baseline is 0.0, so a *single* missed deadline for
+#: the deadline-carrying tenant fails the gate).  Wall-clock seconds and
+#: decisions/sec are reported in the artifact but not gated here; the
+#: benchmark itself enforces the <60 s single-process budget.
+SCALE_METRICS_HIGHER = ("oracle_speedup", "jobs_completed",
+                        "scheduler_decisions")
+SCALE_METRICS_LOWER = ("slo_miss_rate",)
 
 
 def load(path: Path) -> dict:
@@ -185,6 +201,15 @@ def compare_checkpoint(fresh: dict, baseline: dict, threshold: float,
                            lower=CHECKPOINT_METRICS_LOWER)
 
 
+def compare_scale(fresh: dict, baseline: dict, threshold: float,
+                  failures: list) -> list:
+    """Gate the scale artifact's machine-independent metrics."""
+    return compare_metrics("BENCH_scale.json", fresh, baseline,
+                           threshold, failures,
+                           higher=SCALE_METRICS_HIGHER,
+                           lower=SCALE_METRICS_LOWER)
+
+
 def print_rows(title: str, rows: list, headers: tuple) -> None:
     if not rows:
         return
@@ -266,6 +291,9 @@ def main(argv=None) -> int:
         load(args.fresh_dir / ARTIFACTS[2]),
         load(args.baseline_dir / ARTIFACTS[2]),
         args.threshold, failures)
+    scale_rows = compare_scale(load(args.fresh_dir / ARTIFACTS[3]),
+                               load(args.baseline_dir / ARTIFACTS[3]),
+                               args.threshold, failures)
 
     print_rows("BENCH_runtime.json (normalized by median machine scale)",
                runtime_rows,
@@ -275,6 +303,8 @@ def main(argv=None) -> int:
                ("metric", "baseline", "fresh", "ratio", "verdict"))
     print_rows("BENCH_checkpoint.json (machine-independent)",
                checkpoint_rows,
+               ("metric", "baseline", "fresh", "ratio", "verdict"))
+    print_rows("BENCH_scale.json (machine-independent)", scale_rows,
                ("metric", "baseline", "fresh", "ratio", "verdict"))
 
     if failures:
@@ -286,7 +316,7 @@ def main(argv=None) -> int:
     print(f"\nbench-gate: all benchmarks within {args.threshold:.0%} of "
           f"the committed baselines "
           f"({len(runtime_rows)} timed, {len(elastic_rows)} elastic, "
-          f"{len(checkpoint_rows)} durability).")
+          f"{len(checkpoint_rows)} durability, {len(scale_rows)} scale).")
     return 0
 
 
