@@ -7,7 +7,8 @@ PYTEST = PYTHONPATH=src $(PY) -m pytest
 #   make bench BENCH_FLAGS="--benchmark-json=BENCH_runtime.json"
 BENCH_FLAGS ?=
 
-.PHONY: test bench bench-gate coverage docs-check api-docs examples lint
+.PHONY: test bench bench-gate coverage docs-check api-docs examples lint \
+	profile
 
 # tier-1 verify: the whole suite, fail fast
 test:
@@ -16,6 +17,12 @@ test:
 # benchmark harness only, verbose so the reproduced tables/figures print
 bench:
 	$(PYTEST) benchmarks/ -q -s $(BENCH_FLAGS)
+
+# profile the fused training hot path (cProfile top-N by cumulative
+# time) and refresh the committed benchmarks/PROFILE_hotpath.txt
+# artifact; see docs/performance.md for the workflow
+profile:
+	$(PY) tools/profile_hotpath.py
 
 # perf-regression gate: run the harness with fresh artifacts, then diff
 # them against the committed baselines (benchmarks/baselines/); fails on

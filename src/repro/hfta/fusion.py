@@ -32,6 +32,31 @@ leading array dimension ``[B, *s]``, fused buffers are block-folded
 ``[B * c, ...]`` (see :func:`load_from_unfused`).  The per-slot *optimizer*
 state moves through the matching primitives in
 :mod:`repro.hfta.optim.elastic`.
+
+Ownership / copy-on-write contract
+----------------------------------
+The re-fusion primitives are *zero-copy by default*: a split whose kept
+slots form one contiguous leading-dim run returns **views** into the input
+array's memory (a contiguous slice along axis 0 of a C-contiguous array is
+a strided view, never a copy), and only falls back to copies for
+non-contiguous keep sets.  The exact contract per primitive:
+
+* :func:`split_fused` — the split itself never mutates the input.  With
+  ``copy=False`` (default) the result's parameters/buffers may *alias* the
+  input's memory; training the result in place then writes into the shared
+  base.  The two safe call patterns, both used by the executor, are
+  (a) *narrowing*: the input array is discarded right after the split, and
+  (b) *partitioning*: the array is split into **disjoint** slot ranges
+  (eviction + survivors, preemption parent + child) — in-place optimizer
+  updates land in disjoint slices of the shared base, so neither side can
+  corrupt the other.  Pass ``copy=True`` for fully owned results.
+* :func:`merge_fused` — always allocates a fresh destination (optionally
+  through a :class:`~repro.runtime.bufferpool.BufferPool` allocator) and
+  copies both inputs in; the output never aliases either input, and the
+  inputs are never mutated.
+* :func:`snapshot_array` / :func:`restore_array` — snapshots are always
+  deep copies: a rollback target aliased to the live array would be
+  corrupted by the very in-place training steps it exists to undo.
 """
 
 from __future__ import annotations
@@ -46,7 +71,7 @@ from ..nn.modules.module import Module
 __all__ = ["load_from_unfused", "export_to_unfused", "validate_fusibility",
            "is_fusible", "fusibility_error", "structural_signature",
            "fused_parameter_report", "fused_array_width", "snapshot_array",
-           "restore_array", "split_fused", "merge_fused"]
+           "restore_array", "split_fused", "merge_fused", "contiguous_run"]
 
 
 def _fused_param_map(fused: Module) -> Dict[str, np.ndarray]:
@@ -216,6 +241,61 @@ def validate_fusibility(models: Sequence[Module]) -> bool:
 # --------------------------------------------------------------------- #
 # elastic re-fusion primitives
 # --------------------------------------------------------------------- #
+def contiguous_run(indices: Sequence[int]):
+    """``(start, stop)`` when ``indices`` is an ascending contiguous run.
+
+    A contiguous run along the leading (array) dimension is exactly the
+    case where slicing a fused array produces a *view*; anything else
+    (gaps, reordering) needs a gather copy.  Returns ``None`` otherwise.
+    """
+    if not indices:
+        return None
+    if any(b - a != 1 for a, b in zip(indices, indices[1:])):
+        return None
+    return int(indices[0]), int(indices[-1]) + 1
+
+
+def _structural_clone(fused: Module) -> Module:
+    """Clone the module *tree* while sharing every parameter/buffer array.
+
+    ``copy.deepcopy`` with the memo pre-seeded so that each ``ndarray``
+    hanging off a parameter (``data``/``grad``) or buffer maps to itself:
+    the clone gets fresh ``Module``/``Parameter`` objects (safe to rebind
+    and retag) but zero array bytes are copied.  Callers rebind each
+    parameter's ``data`` to a slice/concatenation and re-register the
+    per-model buffers; :func:`_copy_leftover_shared_buffers` then breaks
+    the sharing of whatever slot-independent buffers remain.
+    """
+    memo: Dict[int, object] = {}
+    for _, p in fused.named_parameters():
+        if p.data is not None:
+            memo[id(p.data)] = p.data
+        if p.grad is not None:
+            memo[id(p.grad)] = p.grad
+    for _, buf in fused.named_buffers():
+        if buf is not None:
+            memo[id(buf)] = buf
+    return copy.deepcopy(fused, memo)
+
+
+def _copy_leftover_shared_buffers(out: Module, source: Module) -> None:
+    """Break any remaining buffer sharing between a clone and its source.
+
+    After :func:`_structural_clone` + per-model buffer surgery, buffers
+    that were *not* re-registered (slot-independent ones whose leading dim
+    is no multiple of the array width) are still the source's own arrays;
+    give the clone private copies so in-place buffer updates on either
+    side can never leak into the other (the semantics the old
+    deepcopy-everything implementation provided).
+    """
+    source_ids = {id(buf) for _, buf in source.named_buffers()
+                  if buf is not None}
+    for module in out.modules():
+        for name, buf in list(module._buffers.items()):
+            if buf is not None and id(buf) in source_ids:
+                module.register_buffer(name, buf.copy())
+
+
 def _retag_num_models(model: Module, old_width: int, new_width: int) -> None:
     """Rewrite every ``num_models`` attribute from ``old_width`` to
     ``new_width`` — on fused modules themselves and on any
@@ -247,17 +327,28 @@ def _resize_buffers(model: Module, take) -> None:
                     name, take(buf, buf.shape[0] // width, width))
 
 
-def split_fused(fused: Module, keep_indices: Sequence[int]) -> Module:
+def split_fused(fused: Module, keep_indices: Sequence[int],
+                copy: bool = False) -> Module:
     """A new fused array holding only slots ``keep_indices`` of ``fused``.
 
     Parameters ``[B, *s]`` are sliced along the array dimension, buffers
-    ``[B * c, ...]`` blockwise; the input array is left untouched (slot
-    eviction exports the evicted checkpoints first, then replaces the live
-    array with the split).  Per-slot optimizer state moves through
-    :func:`repro.hfta.optim.elastic.split_optimizer`.
+    ``[B * c, ...]`` blockwise; the input array is left untouched by the
+    split itself (slot eviction exports the evicted checkpoints first,
+    then replaces the live array with the split).  Per-slot optimizer
+    state moves through :func:`repro.hfta.optim.elastic.split_optimizer`.
+
+    Zero-copy contract: with ``copy=False`` (default) and a *contiguous*
+    ``keep_indices`` run, parameters and per-model buffers come back as
+    views into the input's memory — O(kept slots) of metadata instead of
+    O(array) of bytes.  Training the result in place then writes through
+    to the shared base, so the caller must either discard the input
+    (narrowing) or only ever train disjoint slot ranges of it
+    (partitioning); see the module docstring for the full ownership
+    contract.  Non-contiguous keeps, and ``copy=True``, return owned
+    copies exactly like the historical implementation.
     """
     width = fused_array_width(fused)
-    keep: List[int] = list(keep_indices)
+    keep: List[int] = [int(i) for i in keep_indices]
     if not keep:
         raise ValueError("split_fused needs at least one slot to keep")
     if any(not 0 <= i < width for i in keep):
@@ -266,33 +357,46 @@ def split_fused(fused: Module, keep_indices: Sequence[int]) -> Module:
     if len(set(keep)) != len(keep):
         raise ValueError(f"keep_indices {keep} contains duplicates")
 
-    out = copy.deepcopy(fused)
+    run = None if copy else contiguous_run(keep)
+    out = _structural_clone(fused)
     for name, p in out.named_parameters():
         if p.shape[0] != width:
             raise ValueError(
                 f"parameter '{name}' has leading dim {p.shape[0]}, expected "
                 f"array width {width}; is this a fused model?")
-        p.data = np.ascontiguousarray(p.data[keep])
+        if run is not None:
+            p.data = p.data[run[0]:run[1]]           # view, zero bytes moved
+        else:
+            p.data = np.ascontiguousarray(p.data[keep])
         p.grad = None
 
     def take(buf, block, _width):
+        if run is not None:
+            return buf[run[0] * block:run[1] * block]  # blockwise view
         return np.concatenate(
             [buf[i * block:(i + 1) * block] for i in keep])
 
     _resize_buffers(out, take)
+    _copy_leftover_shared_buffers(out, fused)
     _retag_num_models(out, width, len(keep))
     return out
 
 
-def merge_fused(a: Module, b: Module) -> Module:
+def merge_fused(a: Module, b: Module, allocator=None) -> Module:
     """Concatenate two structurally identical fused arrays into one.
 
     Slot order is ``a``'s slots followed by ``b``'s.  The inputs are left
-    untouched.  Raises ``ValueError`` when the arrays are not re-fusible
-    (mismatched parameter names or per-slot shapes — the same condition
-    :func:`validate_fusibility` enforces for unfused models).  Per-slot
-    optimizer state moves through
+    untouched and the output never aliases them (every merged parameter is
+    a freshly filled destination array).  Raises ``ValueError`` when the
+    arrays are not re-fusible (mismatched parameter names or per-slot
+    shapes — the same condition :func:`validate_fusibility` enforces for
+    unfused models).  Per-slot optimizer state moves through
     :func:`repro.hfta.optim.elastic.merge_optimizers`.
+
+    ``allocator(shape, dtype) -> ndarray`` supplies the destination arrays
+    when given (the executor passes its
+    :class:`~repro.runtime.bufferpool.BufferPool`'s ``take``, so churn
+    reuses dead allocations); the allocator's result is fully overwritten.
     """
     width_a, width_b = fused_array_width(a), fused_array_width(b)
     params_a = list(a.named_parameters())
@@ -302,7 +406,14 @@ def merge_fused(a: Module, b: Module) -> Module:
             f"cannot merge: arrays have {len(params_a)} vs {len(params_b)} "
             f"parameters")
 
-    out = copy.deepcopy(a)
+    def joined(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        if allocator is not None and left.dtype == right.dtype:
+            dest = allocator((left.shape[0] + right.shape[0],)
+                             + left.shape[1:], left.dtype)
+            return np.concatenate([left, right], out=dest)
+        return np.concatenate([left, right])
+
+    out = _structural_clone(a)
     out_params = dict(out.named_parameters())
     for name, p_a in params_a:
         p_b = params_b.get(name)
@@ -314,7 +425,7 @@ def merge_fused(a: Module, b: Module) -> Module:
                 f"cannot merge: parameter '{name}' has per-slot shape "
                 f"{p_a.shape[1:]} vs {p_b.shape[1:]}")
         target = out_params[name]
-        target.data = np.concatenate([p_a.data, p_b.data])
+        target.data = joined(p_a.data, p_b.data)
         target.grad = None
 
     buffers_b = dict(b.named_buffers())
@@ -341,6 +452,7 @@ def merge_fused(a: Module, b: Module) -> Module:
                     f"array, expected {(width_b * block,) + buf.shape[1:]}")
             module.register_buffer(name, np.concatenate([buf, other]))
 
+    _copy_leftover_shared_buffers(out, a)
     _retag_num_models(out, width_a, width_a + width_b)
     return out
 
@@ -351,8 +463,11 @@ def snapshot_array(fused: Module) -> Dict[str, np.ndarray]:
     The executor snapshots an array before a split/merge transition so a
     failure mid-surgery can roll the live array back with
     :func:`restore_array` instead of corrupting healthy cohort-mates.
-    Optimizer state snapshots live in
-    :func:`repro.hfta.optim.elastic.snapshot_optimizer`.
+    Snapshots are deliberately exempt from the zero-copy contract: the
+    optimizer steps parameters *in place*, so a snapshot aliasing the live
+    array would be corrupted by the very training it exists to undo —
+    rollback state must always own its memory.  Optimizer state snapshots
+    live in :func:`repro.hfta.optim.elastic.snapshot_optimizer`.
     """
     return fused.state_dict()
 

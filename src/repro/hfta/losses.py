@@ -71,9 +71,53 @@ class _FusedLoss(Module):
         raise NotImplementedError
 
     def per_model(self, prediction: Tensor, target) -> np.ndarray:
-        """Return the ``B`` per-model loss values (detached, for logging)."""
+        """Return the ``B`` per-model loss values (detached, for logging).
+
+        Computed in a single vectorized numpy pass over the batched
+        layout, with no autograd graph — this runs once per training step
+        purely for logging, and the profiled hot path showed the old
+        per-model Python loop (``B`` graph-building criterion calls per
+        step) dominating epoch time.  Bit-identical to
+        :meth:`per_model_reference`: the vectorized kernels replay the
+        exact floating-point operation sequence of the per-slice graph
+        ops, row by row (``tests/hfta/test_refusion_views.py`` asserts
+        equality across the op-family matrix).
+        """
+        values = self._per_model_values(prediction, target)
+        if values is None:                 # criterion without a kernel yet
+            return self.per_model_reference(prediction, target)
+        return values.astype(np.float64)
+
+    def per_model_reference(self, prediction: Tensor, target) -> np.ndarray:
+        """Reference per-model losses via ``B`` unfused criterion calls.
+
+        The original (pre-vectorization) implementation, kept as the
+        ground truth the fast path is tested against and as the legacy
+        configuration ``benchmarks/test_hotpath.py`` measures speedup
+        over.
+        """
         losses = self._per_model_loss(prediction, target)
         return np.array([float(l.data) for l in losses], dtype=np.float64)
+
+    def _per_model_values(self, prediction: Tensor, target):
+        """Vectorized ``[B]`` loss values, or ``None`` to use the reference."""
+        return None
+
+    def _reduce_rows(self, flat: np.ndarray) -> np.ndarray:
+        """Reduce ``[B, M]`` rows exactly like ``Tensor.mean``/``sum`` do.
+
+        ``Tensor.mean`` computes ``sum * (1.0 / count)`` (not ``sum /
+        count``) — replicated verbatim so the vectorized values stay
+        bit-identical to the graph-op reference.
+        """
+        if self.reduction == "mean":
+            return flat.sum(axis=-1) * (1.0 / flat.shape[-1])
+        return flat.sum(axis=-1)
+
+    @staticmethod
+    def _target_array(target) -> np.ndarray:
+        return target.data if isinstance(target, Tensor) \
+            else np.asarray(target)
 
     def extra_repr(self) -> str:
         return f"B={self.num_models}, reduction={self.reduction}"
@@ -100,6 +144,18 @@ class FusedCrossEntropyLoss(_FusedLoss):
             out.append(F.cross_entropy(lb, tb, self.reduction))
         return out
 
+    def _per_model_values(self, logits: Tensor, target):
+        # Row-wise replay of F.cross_entropy = log_softmax + nll_loss:
+        # max-shift -> exp -> sum -> log -> subtract -> pick -> negate.
+        data = logits.data
+        b, c = data.shape[0], data.shape[-1]
+        flat = data.reshape(b, -1, c)
+        tgt = self._target_array(target).reshape(b, -1).astype(np.int64)
+        shifted = flat - flat.max(axis=-1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        picked = np.take_along_axis(logp, tgt[:, :, None], axis=-1)[..., 0]
+        return self._reduce_rows(-picked)
+
 
 class FusedNLLLoss(_FusedLoss):
     """NLL over fused log-probabilities ``[B, N, C]`` and targets ``[B, N]``."""
@@ -118,6 +174,14 @@ class FusedNLLLoss(_FusedLoss):
                            self.reduction)
                 for b in range(self.num_models)]
 
+    def _per_model_values(self, log_probs: Tensor, target):
+        data = log_probs.data
+        b, c = data.shape[0], data.shape[-1]
+        flat = data.reshape(b, -1, c)
+        tgt = self._target_array(target).reshape(b, -1).astype(np.int64)
+        picked = np.take_along_axis(flat, tgt[:, :, None], axis=-1)[..., 0]
+        return self._reduce_rows(-picked)
+
 
 class FusedMSELoss(_FusedLoss):
     """Mean-squared error over fused predictions ``[B, ...]``."""
@@ -131,6 +195,11 @@ class FusedMSELoss(_FusedLoss):
         return [F.mse_loss(prediction[b], tgt[b], self.reduction)
                 for b in range(self.num_models)]
 
+    def _per_model_values(self, prediction: Tensor, target):
+        tgt = self._target_array(target)
+        diff = (prediction.data - tgt) ** 2
+        return self._reduce_rows(diff.reshape(diff.shape[0], -1))
+
 
 class FusedBCELoss(_FusedLoss):
     """Binary cross entropy over fused probabilities ``[B, ...]`` (DCGAN)."""
@@ -143,3 +212,9 @@ class FusedBCELoss(_FusedLoss):
         tgt = target.data if isinstance(target, Tensor) else np.asarray(target)
         return [F.binary_cross_entropy(prob[b], tgt[b], self.reduction)
                 for b in range(self.num_models)]
+
+    def _per_model_values(self, prob: Tensor, target):
+        tgt = self._target_array(target)
+        p = np.clip(prob.data, 1e-7, 1.0 - 1e-7)
+        loss = -(tgt * np.log(p) + (1.0 - tgt) * np.log(1.0 - p))
+        return self._reduce_rows(loss.reshape(loss.shape[0], -1))

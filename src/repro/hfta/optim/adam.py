@@ -42,6 +42,20 @@ class Adam(FusedOptimizer):
         super().__init__(params, num_models, defaults)
 
     def step(self) -> None:
+        # The moment updates and the update/denominator math run in place
+        # (``out=`` ufuncs into the state and two per-parameter scratch
+        # arrays) — the profiled hot path allocated six update-sized
+        # temporaries per parameter per step here.  Every in-place form
+        # below replays the exact operation sequence (and operand dtypes)
+        # of the original rebinding expressions, so the trajectories stay
+        # bit-identical; ``tests/hfta/test_fused_optim.py`` pins this
+        # against the serial reference.
+        try:
+            scratch = self._scratch
+        except AttributeError:
+            # ``merge_optimizers``/``split_optimizer`` build instances via
+            # ``__new__`` without running ``__init__``, so lazily attach.
+            scratch = self._scratch = {}
         for group in self.param_groups:
             for p in group["params"]:
                 if p.grad is None:
@@ -52,7 +66,7 @@ class Adam(FusedOptimizer):
                 eps = self._hyper(group, "eps", p)
                 wd = self._hyper(group, "weight_decay", p)
                 grad = p.grad
-                if not self.decoupled_weight_decay:
+                if not self.decoupled_weight_decay and wd.any():
                     grad = grad + wd * p.data
                 st = self._get_state(p)
                 fused_group = group["model_index"] is None
@@ -61,24 +75,46 @@ class Adam(FusedOptimizer):
                     # elastic runtime merges arrays whose slots sit at
                     # different training progress (live re-fusion), and
                     # Adam's bias correction must keep using each slot's own
-                    # step count to stay serial-equivalent.
+                    # step count to stay serial-equivalent.  Moments start
+                    # at the promoted dtype the float64 hyperparameter
+                    # vectors would have produced on the first rebind.
                     st["step"] = (np.zeros(self.num_models) if fused_group
                                   else 0)
-                    st["exp_avg"] = np.zeros_like(p.data)
-                    st["exp_avg_sq"] = np.zeros_like(p.data)
+                    mdt = np.result_type(beta1, p.data)
+                    st["exp_avg"] = np.zeros(p.data.shape, dtype=mdt)
+                    st["exp_avg_sq"] = np.zeros(p.data.shape, dtype=mdt)
                 st["step"] = st["step"] + 1
                 t = (broadcastable(st["step"], p.shape) if fused_group
                      else st["step"])
-                st["exp_avg"] = beta1 * st["exp_avg"] + (1 - beta1) * grad
-                st["exp_avg_sq"] = (beta2 * st["exp_avg_sq"]
-                                    + (1 - beta2) * grad * grad)
+                ea, easq = st["exp_avg"], st["exp_avg_sq"]
+                sc = scratch.get(id(p))
+                if sc is None or sc[0].shape != p.data.shape \
+                        or sc[0].dtype != ea.dtype:
+                    sc = (np.empty(p.data.shape, dtype=ea.dtype),
+                          np.empty(p.data.shape, dtype=ea.dtype))
+                    scratch[id(p)] = sc
+                s1, s2 = sc
+                # ea = beta1 * ea + (1 - beta1) * grad
+                np.multiply(ea, beta1, out=ea)
+                ea += (1 - beta1) * grad
+                # easq = beta2 * easq + ((1 - beta2) * grad) * grad
+                tmp = (1 - beta2) * grad
+                tmp *= grad
+                np.multiply(easq, beta2, out=easq)
+                easq += tmp
                 bias1 = 1 - beta1 ** t
                 bias2 = 1 - beta2 ** t
-                denom = np.sqrt(st["exp_avg_sq"] / bias2) + eps
-                update = lr * (st["exp_avg"] / bias1) / denom
+                # s1 = denom = sqrt(easq / bias2) + eps
+                np.divide(easq, bias2, out=s1)
+                np.sqrt(s1, out=s1)
+                s1 += eps
+                # s2 = update = lr * (ea / bias1) / denom
+                np.divide(ea, bias1, out=s2)
+                np.multiply(s2, lr, out=s2)
+                np.divide(s2, s1, out=s2)
                 if self.decoupled_weight_decay:
-                    update = update + lr * wd * p.data
-                p.data -= update.astype(p.data.dtype, copy=False)
+                    s2 += lr * wd * p.data
+                p.data -= s2.astype(p.data.dtype, copy=False)
 
 
 class AdamW(Adam):

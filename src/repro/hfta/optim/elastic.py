@@ -28,6 +28,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from ...nn.tensor import Tensor
+from ..fusion import contiguous_run
 from .optimizer import FusedOptimizer
 from .utils import coerce_hyperparam
 
@@ -52,16 +53,35 @@ def _is_per_model(value, num_models: int) -> bool:
 
 
 def split_optimizer(optimizer: FusedOptimizer, new_params: Sequence[Tensor],
-                    keep_indices: Sequence[int]) -> FusedOptimizer:
+                    keep_indices: Sequence[int],
+                    copy_state: bool = False) -> FusedOptimizer:
     """A new optimizer of the same class managing only ``keep_indices``.
 
     ``new_params`` are the parameters of the already-split fused model
     (:func:`repro.hfta.fusion.split_fused`), in the old flat order.  Every
     per-model state array and hyper-parameter vector is sliced to the kept
-    slots; the input optimizer is left untouched.
+    slots; the split itself leaves the input optimizer untouched.
+
+    Zero-copy contract (mirrors :func:`~repro.hfta.fusion.split_fused`):
+    with ``copy_state=False`` (default) and a contiguous keep run, the big
+    per-*parameter* state arrays (Adam's moments, momentum buffers) come
+    back as views into the input optimizer's state — stepping the result
+    in place writes through to the shared base, so the caller must discard
+    the input or only ever step disjoint slot ranges of it.  Group
+    hyper-parameter vectors and ``defaults`` are always copied: they are
+    tiny and callers legitimately retune them (e.g. LR schedules) without
+    meaning to retune the sibling.  ``copy_state=True`` restores fully
+    owned state everywhere.
     """
     _check_fully_fused(optimizer, "split_optimizer")
-    keep = list(keep_indices)
+    keep = [int(i) for i in keep_indices]
+    run = None if copy_state else contiguous_run(keep)
+
+    def take_state(value: np.ndarray) -> np.ndarray:
+        if run is not None:
+            return value[run[0]:run[1]]          # view, zero bytes moved
+        return value[keep].copy()
+
     old_width = optimizer.num_models
     if any(not 0 <= i < old_width for i in keep):
         raise ValueError(f"keep_indices {keep} out of range for "
@@ -101,7 +121,7 @@ def split_optimizer(optimizer: FusedOptimizer, new_params: Sequence[Tensor],
             st = optimizer.state.get(id(p_old))
             if st:
                 new_opt.state[id(p_new)] = {
-                    k: (v[keep].copy() if _is_per_model(v, old_width)
+                    k: (take_state(v) if _is_per_model(v, old_width)
                         else copy.deepcopy(v))
                     for k, v in st.items()}
         new_opt.param_groups.append(new_group)
@@ -109,7 +129,8 @@ def split_optimizer(optimizer: FusedOptimizer, new_params: Sequence[Tensor],
 
 
 def merge_optimizers(a: FusedOptimizer, b: FusedOptimizer,
-                     merged_params: Sequence[Tensor]) -> FusedOptimizer:
+                     merged_params: Sequence[Tensor],
+                     allocator=None) -> FusedOptimizer:
     """One optimizer over a merged array: ``a``'s slots then ``b``'s.
 
     ``merged_params`` are the parameters of the merged fused model
@@ -120,6 +141,11 @@ def merge_optimizers(a: FusedOptimizer, b: FusedOptimizer,
     so a freshly admitted slot trains identically to a slot whose state was
     never touched.  Scalar state must agree on both sides (per-model step
     counters make the one historic scalar, Adam's ``step``, a vector).
+
+    The merged state never aliases either input.  ``allocator(shape,
+    dtype) -> ndarray`` supplies the concatenation destinations when given
+    (the executor passes its buffer pool's ``take``); results are fully
+    overwritten.
     """
     if type(a) is not type(b):
         raise ValueError(f"cannot merge optimizers of different classes: "
@@ -139,6 +165,10 @@ def merge_optimizers(a: FusedOptimizer, b: FusedOptimizer,
     def join(name, va, vb):
         per_a, per_b = _is_per_model(va, width_a), _is_per_model(vb, width_b)
         if per_a and per_b:
+            if allocator is not None and va.dtype == vb.dtype:
+                dest = allocator((va.shape[0] + vb.shape[0],) + va.shape[1:],
+                                 va.dtype)
+                return np.concatenate([va, vb], out=dest)
             return np.concatenate([va, vb])
         if per_a or per_b:
             raise ValueError(f"cannot merge '{name}': per-model on one side "

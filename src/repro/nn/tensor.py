@@ -104,7 +104,13 @@ class Tensor:
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False,
                  dtype=None):
-        self.data: np.ndarray = _as_array(data, dtype)
+        # Fast path: every op output wraps a freshly computed ndarray, and
+        # ``_as_array`` is a no-op for those (ndarray in, same object out
+        # when no dtype is forced) — skip the call on the hot path.
+        if dtype is None and type(data) is np.ndarray:
+            self.data: np.ndarray = data
+        else:
+            self.data = _as_array(data, dtype)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
         self._backward: Optional[Callable[[np.ndarray], None]] = None

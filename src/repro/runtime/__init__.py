@@ -89,6 +89,7 @@ end-to-end serving sessions.
 from .queue import (JobState, TrainingJob, SubmittedJob, JobQueue,
                     ResumeState)
 from .batcher import Batcher, Cohort, DEFAULT_INFUSIBLE_KEYS
+from .bufferpool import BufferPool
 from .policy import ArrayPlan, ArrayPolicy
 from .engine import (ArrayExecutor, ArrayState, JobResult, StopReason,
                      TrainingArrayEngine)
@@ -106,6 +107,7 @@ from .sim import (SimExecutor, SimulatedCrash, TraceReplayer, VirtualClock,
 __all__ = [
     "JobState", "TrainingJob", "SubmittedJob", "JobQueue", "ResumeState",
     "Batcher", "Cohort", "DEFAULT_INFUSIBLE_KEYS",
+    "BufferPool",
     "ArrayPlan", "ArrayPolicy",
     "ArrayExecutor", "ArrayState", "JobResult", "StopReason",
     "TrainingArrayEngine",

@@ -100,20 +100,30 @@ def encode_arrays(arrays: Dict[str, np.ndarray]) -> bytes:
 
 
 def decode_arrays(payload: bytes) -> Dict[str, np.ndarray]:
-    """Inverse of :func:`encode_arrays`; arrays own fresh writable memory."""
-    if not payload.startswith(_MAGIC):
+    """Inverse of :func:`encode_arrays`; every returned array is writable.
+
+    Zero-copy where possible: the arrays are disjoint views into
+    ``payload``'s buffer when that buffer is writable (a ``bytearray``, as
+    :meth:`CheckpointStore._get_object` returns), reshaped in place.  Only
+    a read-only ``bytes`` payload forces per-array copies — the old
+    behavior, which slices the body and copies after ``reshape``, paid
+    three full-payload copies per restored slot.
+    """
+    view = memoryview(payload)
+    if bytes(view[:len(_MAGIC)]) != _MAGIC:
         raise ValueError("not a checkpoint payload (bad magic)")
     offset = len(_MAGIC)
-    header_len = int.from_bytes(payload[offset:offset + 8], "big")
+    header_len = int.from_bytes(view[offset:offset + 8], "big")
     offset += 8
-    entries = json.loads(payload[offset:offset + header_len])
-    body = payload[offset + header_len:]
+    entries = json.loads(bytes(view[offset:offset + header_len]))
+    body = offset + header_len
     out: Dict[str, np.ndarray] = {}
     for entry in entries:
-        start = entry["offset"]
-        raw = body[start:start + entry["size"]]
-        arr = np.frombuffer(raw, dtype=np.dtype(entry["dtype"]))
-        out[entry["name"]] = arr.reshape(entry["shape"]).copy()
+        start = body + entry["offset"]
+        arr = np.frombuffer(view[start:start + entry["size"]],
+                            dtype=np.dtype(entry["dtype"]))
+        arr = arr.reshape(entry["shape"])
+        out[entry["name"]] = arr if arr.flags.writeable else arr.copy()
     return out
 
 
@@ -148,6 +158,9 @@ class WriteReceipt:
     written_bytes: int        # bytes that hit disk (0 when deduplicated)
     seconds: float            # wall-clock write latency (encode + fsync)
     deduplicated: bool        # every object was already in the store
+    #: refs of the stored objects ({"model": ..., "optimizer": ...}) —
+    #: callers cache these to reuse a clean slot's objects manifest-only
+    objects: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -237,10 +250,17 @@ class CheckpointStore:
             self.bytes_written += len(payload)
             return digest, len(payload)
 
-    def _get_object(self, digest: str) -> bytes:
+    def _get_object(self, digest: str) -> bytearray:
+        # a writable buffer, so decode_arrays can hand out zero-copy
+        # writable views instead of copying every restored array
         path = os.path.join(self._objects_dir, digest[:2], digest)
+        size = os.path.getsize(path)
+        buf = bytearray(size)
         with open(path, "rb") as handle:
-            return handle.read()
+            read = handle.readinto(buf)
+        if read != size:
+            del buf[read:]
+        return buf
 
     def _manifest_path(self, job_id: int) -> str:
         return os.path.join(self._manifests_dir, f"job-{int(job_id)}.json")
@@ -248,11 +268,13 @@ class CheckpointStore:
     # ------------------------------------------------------------------ #
     def save_slot(self, *, job_id: int, job: TrainingJob, progress: int,
                   loss_curve: Sequence[float],
-                  model_state: Dict[str, np.ndarray],
-                  optimizer_state: Dict[int, Dict[str, np.ndarray]],
+                  model_state: Optional[Dict[str, np.ndarray]] = None,
+                  optimizer_state: Optional[
+                      Dict[int, Dict[str, np.ndarray]]] = None,
                   provenance: Dict[str, Any],
                   final: bool = False,
-                  stop_reason: Optional[str] = None) -> WriteReceipt:
+                  stop_reason: Optional[str] = None,
+                  objects: Optional[Dict[str, str]] = None) -> WriteReceipt:
         """Persist one slot's training state; returns the write receipt.
 
         ``provenance`` is the fused-array context the checkpoint was taken
@@ -260,13 +282,38 @@ class CheckpointStore:
         signature) — recorded for the operations trail, *not* required for
         restore: the payload is the job's own unfused state, so it resumes
         into whatever array shape the scheduler next packs it into.
+
+        ``objects`` is the incremental-checkpoint fast path: object refs
+        from a previous :class:`WriteReceipt` for a slot whose state has
+        not changed since.  The manifest is rewritten to point at the
+        already-stored objects and *nothing is encoded or written* to the
+        object store (``payload_bytes == written_bytes == 0``).  The refs
+        must exist in this store; ``model_state``/``optimizer_state`` are
+        ignored when ``objects`` is given.
         """
         start = time.perf_counter()
-        model_payload = encode_arrays(model_state)
-        optim_payload = encode_arrays(
-            _flatten_optimizer_state(optimizer_state))
-        model_ref, model_written = self._put_object(model_payload)
-        optim_ref, optim_written = self._put_object(optim_payload)
+        if objects is not None:
+            for kind in ("model", "optimizer"):
+                ref = objects.get(kind)
+                if not ref or not os.path.exists(os.path.join(
+                        self._objects_dir, ref[:2], ref)):
+                    raise ValueError(
+                        f"stale checkpoint ref for {kind!r}: {ref!r}")
+            model_ref, optim_ref = objects["model"], objects["optimizer"]
+            model_written = optim_written = 0
+            payload_bytes = 0
+            with self._lock:
+                self.dedup_hits += 2
+        else:
+            if model_state is None or optimizer_state is None:
+                raise ValueError("save_slot needs model_state and "
+                                 "optimizer_state unless objects is given")
+            model_payload = encode_arrays(model_state)
+            optim_payload = encode_arrays(
+                _flatten_optimizer_state(optimizer_state))
+            model_ref, model_written = self._put_object(model_payload)
+            optim_ref, optim_written = self._put_object(optim_payload)
+            payload_bytes = len(model_payload) + len(optim_payload)
         manifest = {
             "job_id": int(job_id),
             "name": job.name,
@@ -290,10 +337,11 @@ class CheckpointStore:
         written = model_written + optim_written
         return WriteReceipt(
             job_id=int(job_id),
-            payload_bytes=len(model_payload) + len(optim_payload),
+            payload_bytes=payload_bytes,
             written_bytes=written,
             seconds=time.perf_counter() - start,
-            deduplicated=written == 0)
+            deduplicated=written == 0,
+            objects={"model": model_ref, "optimizer": optim_ref})
 
     # ------------------------------------------------------------------ #
     def manifest(self, job_id: int) -> Optional[Dict[str, Any]]:

@@ -59,6 +59,7 @@ from ..hfta.optim.elastic import export_slot_state, load_slot_state, \
     merge_optimizers, split_optimizer
 from ..nn.modules.module import Module
 from .batcher import Batcher, Cohort
+from .bufferpool import BufferPool
 from .checkpoint import CheckpointStore, RecoveryManager
 from .metrics import ArrayRecord, RuntimeMetrics
 from .policy import ArrayPlan, ArrayPolicy
@@ -180,6 +181,15 @@ class _Slot:
     #: static (non-elastic) mode: a stop signal fired but the slot keeps
     #: training to its budget — it no longer counts as *occupied* width
     useful: bool = True
+    #: ``progress`` at the slot's last successful durable checkpoint —
+    #: the dirty-slot tracker behind incremental checkpointing (a slot's
+    #: training state changes only by stepping or resume injection, and
+    #: both move ``progress``), -1 until a first checkpoint lands
+    persisted_progress: int = -1
+    #: object refs (``{"model": ref, "optimizer": ref}``) of the last
+    #: durable checkpoint, so a clean slot's *final* manifest can reuse
+    #: the stored objects without re-encoding a byte
+    persist_refs: Optional[Dict[str, str]] = None
 
     @property
     def job(self) -> TrainingJob:
@@ -396,25 +406,36 @@ class ArrayExecutor:
         (failure isolation for the admission path).
         """
         width = len(subs)
+        allocator = self._allocator()
         sub_model = subs[0].job.build_model(width, None)
         load_from_unfused(sub_model, templates)
         sub_opt = make_fused_optimizer(
             sub_model, [sub.job.config for sub in subs], width)
-        merged = merge_fused(self.fused, sub_model)
+        merged = merge_fused(self.fused, sub_model, allocator=allocator)
         merged_opt = merge_optimizers(self.optimizer, sub_opt,
-                                      merged.parameters())
+                                      merged.parameters(),
+                                      allocator=allocator)
         # merge_fused/merge_optimizers never mutate their inputs, so a
         # raise above leaves the live array untouched; past this point the
         # swap is atomic
+        old_fused, old_opt = self.fused, self.optimizer
         self.fused, self.optimizer = merged, merged_opt
         self.criterion = self._make_criterion(self.live_width + width)
+        # the pre-merge structures are dead: recycle their allocations
+        self._release_dead_state(old_fused, old_opt)
+        self._release_dead_state(sub_model, sub_opt)
 
     def _merge_fused_state(self, other: "ArrayExecutor") -> None:
         """Absorb a paused straggler's fused state (defragmentation)."""
-        merged = merge_fused(self.fused, other.fused)
+        allocator = self._allocator()
+        merged = merge_fused(self.fused, other.fused, allocator=allocator)
         merged_opt = merge_optimizers(self.optimizer, other.optimizer,
-                                      merged.parameters())
+                                      merged.parameters(),
+                                      allocator=allocator)
+        old_fused, old_opt = self.fused, self.optimizer
         self.fused, self.optimizer = merged, merged_opt
+        self._release_dead_state(old_fused, old_opt)
+        self._release_dead_state(other.fused, other.optimizer)
 
     def _split_out(self, moving: Sequence[int]) -> Tuple:
         """Split the ``moving`` slots' fused state out (preemption)."""
@@ -422,6 +443,33 @@ class ArrayExecutor:
         child_opt = split_optimizer(self.optimizer,
                                     child_fused.parameters(), moving)
         return child_fused, child_opt
+
+    def _allocator(self):
+        """The merge primitives' destination allocator (buffer pooling)."""
+        pool = self.engine.pool
+        return pool.take if pool is not None else None
+
+    def _release_dead_state(self, fused, optimizer) -> None:
+        """Recycle a dead structure's allocations into the engine's pool.
+
+        Safe only for structures nothing references anymore (the pre-swap
+        model/optimizer of a merge, the consumed sub-array of an admit):
+        the pool itself additionally rejects views — a narrowed array's
+        slices stay untouched — and anything not owning its memory.
+        Gradients are never offered: autograd may hand the same array to
+        several parameters (shared-weight accumulation).
+        """
+        pool = self.engine.pool
+        if pool is None or fused is None:
+            return
+        dead = [p.data for p in fused.parameters()]
+        dead.extend(buf for _, buf in fused.named_buffers()
+                    if buf is not None)
+        if optimizer is not None:
+            for slot_state in optimizer.state.values():
+                dead.extend(value for value in slot_state.values()
+                            if isinstance(value, np.ndarray))
+        pool.release_all(dead)
 
     def _now(self) -> float:
         """The executor's clock for ``JobResult.finished_at``."""
@@ -445,6 +493,14 @@ class ArrayExecutor:
         slot.progress = resume.progress
         slot.curve = list(resume.loss_curve)
         self.max_progress = max(self.max_progress, slot.progress)
+        # the durable checkpoint this slot resumed from is by definition
+        # up to date — seed the dirty tracker so a cadence sweep before
+        # the first new step does not re-encode identical state
+        refs = (resume.source or {}).get("objects")
+        if isinstance(refs, dict) and \
+                all(isinstance(v, str) for v in refs.values()):
+            slot.persisted_progress = resume.progress
+            slot.persist_refs = dict(refs)
 
     def _provenance(self, index: int) -> Dict:
         """The fused-array context a checkpoint is taken in (manifests)."""
@@ -457,8 +513,18 @@ class ArrayExecutor:
     def _persist_slot(self, index: int, slot: _Slot,
                       model_state: Optional[Dict] = None,
                       final: bool = False,
-                      stop_reason: Optional[str] = None) -> None:
+                      stop_reason: Optional[str] = None,
+                      force: bool = False) -> None:
         """Write one slot's state to the engine's checkpoint store.
+
+        Incremental (``engine.checkpoint_incremental``, default on): a
+        slot whose ``progress`` has not moved since its last durable write
+        is *clean* — its training state cannot have changed (stepping and
+        resume injection are the only mutators, and both move
+        ``progress``).  A clean cadence checkpoint is skipped outright; a
+        clean *final* checkpoint rewrites only the manifest, pointing at
+        the already-stored objects.  ``force`` re-encodes regardless (a
+        durability sweep that must not trust the tracker).
 
         A failed write is counted and swallowed: losing one epoch of
         durability must not take a healthy array down with it.
@@ -466,19 +532,39 @@ class ArrayExecutor:
         store = self.engine.store
         if store is None:
             return
+        clean = (self.engine.checkpoint_incremental and not force
+                 and slot.persist_refs is not None
+                 and slot.persisted_progress == slot.progress)
+        if clean and not final:
+            self.engine.metrics.record_checkpoint_skip()
+            return
         try:
-            if model_state is None:
-                model_state = self._export_slot(index, slot).state_dict()
-            receipt = store.save_slot(
-                job_id=slot.sub.job_id, job=slot.job,
-                progress=slot.progress, loss_curve=slot.curve,
-                model_state=model_state,
-                optimizer_state=self._export_optimizer_state(index),
-                provenance=self._provenance(index),
-                final=final, stop_reason=stop_reason)
+            if clean:
+                receipt = store.save_slot(
+                    job_id=slot.sub.job_id, job=slot.job,
+                    progress=slot.progress, loss_curve=slot.curve,
+                    provenance=self._provenance(index),
+                    final=final, stop_reason=stop_reason,
+                    objects=slot.persist_refs)
+            else:
+                if model_state is None:
+                    model_state = self._export_slot(index,
+                                                    slot).state_dict()
+                receipt = store.save_slot(
+                    job_id=slot.sub.job_id, job=slot.job,
+                    progress=slot.progress, loss_curve=slot.curve,
+                    model_state=model_state,
+                    optimizer_state=self._export_optimizer_state(index),
+                    provenance=self._provenance(index),
+                    final=final, stop_reason=stop_reason)
         except Exception:  # noqa: BLE001 — durability is best-effort
+            # the cached refs may be what failed (stale object) — drop
+            # them so the next attempt re-encodes from live state
+            slot.persist_refs = None
             self.engine.metrics.record_checkpoint_failure()
             return
+        slot.persisted_progress = slot.progress
+        slot.persist_refs = dict(receipt.objects)
         self.engine.metrics.record_checkpoint(
             receipt.payload_bytes, receipt.written_bytes, receipt.seconds)
 
@@ -491,6 +577,18 @@ class ArrayExecutor:
             return
         for index, slot in enumerate(self.slots):
             self._persist_slot(index, slot)
+
+    def checkpoint_now(self, force: bool = False) -> None:
+        """Persist every live slot immediately (durability sweep).
+
+        With incremental checkpointing on, clean slots cost nothing; pass
+        ``force=True`` to re-encode every slot from live state regardless
+        of the dirty tracker (e.g. after swapping checkpoint stores).
+        """
+        if self.engine.store is None:
+            return
+        for index, slot in enumerate(self.slots):
+            self._persist_slot(index, slot, force=force)
 
     def _journal(self, event: str, **extra) -> None:
         recovery = self.engine.recovery
@@ -833,6 +931,8 @@ class TrainingArrayEngine:
                  store: Optional[CheckpointStore] = None,
                  checkpoint_every: int = 0,
                  persist_on_evict: bool = True,
+                 checkpoint_incremental: bool = True,
+                 pool: Optional[BufferPool] = None,
                  recovery: Optional[RecoveryManager] = None,
                  execution: str = "real",
                  clock=None,
@@ -855,6 +955,12 @@ class TrainingArrayEngine:
         # default means attaching a store is the single switch that makes
         # every completed job durable
         self.persist_on_evict = persist_on_evict
+        #: dirty-slot tracking: cadence checkpoints skip slots that have
+        #: not stepped since their last durable write (see _persist_slot)
+        self.checkpoint_incremental = checkpoint_incremental
+        #: allocation reuse for evict->admit churn; pass an explicit pool
+        #: to share it across engines, or None for a private one
+        self.pool = pool if pool is not None else BufferPool()
         self.recovery = recovery
         if execution not in ("real", "sim"):
             raise ValueError(f"execution must be 'real' or 'sim', "

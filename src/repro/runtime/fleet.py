@@ -127,6 +127,7 @@ class FleetScheduler:
                  store: Optional[CheckpointStore] = None,
                  checkpoint_every: int = 0,
                  persist_on_evict: bool = True,
+                 checkpoint_incremental: bool = True,
                  recovery: Optional[RecoveryManager] = None,
                  quarantine_cycles: int = 1,
                  execution: str = "real",
@@ -205,7 +206,9 @@ class FleetScheduler:
                 batcher=self.batcher, array_ids=self._allocate_array_id,
                 elastic=elastic, store=store,
                 checkpoint_every=checkpoint_every,
-                persist_on_evict=persist_on_evict, recovery=recovery,
+                persist_on_evict=persist_on_evict,
+                checkpoint_incremental=checkpoint_incremental,
+                recovery=recovery,
                 execution=execution, clock=self.clock,
                 precision=getattr(self.placer, "precision", precision),
                 default_workload=getattr(self.placer, "default_workload",

@@ -104,6 +104,9 @@ class RuntimeMetrics:
         self.checkpoint_bytes_written = 0
         self.checkpoint_seconds = 0.0
         self.checkpoint_failures = 0
+        #: cadence checkpoints skipped outright because the slot had not
+        #: stepped since its last durable write (incremental checkpointing)
+        self.checkpoints_skipped = 0
         self.jobs_recovered = 0
         self.workers_crashed = 0
         self.admissions_replayed = 0
@@ -227,6 +230,12 @@ class RuntimeMetrics:
             self.checkpoint_payload_bytes += payload_bytes
             self.checkpoint_bytes_written += written_bytes
             self.checkpoint_seconds += seconds
+
+    def record_checkpoint_skip(self) -> None:
+        """A cadence checkpoint skipped with zero encode/write work: the
+        slot's state was already durable (dirty-slot tracking)."""
+        with self._lock:
+            self.checkpoints_skipped += 1
 
     def record_checkpoint_failure(self) -> None:
         """A checkpoint write raised (training continued; durability of

@@ -1,0 +1,225 @@
+"""Aliasing regressions for zero-copy re-fusion (PR 8).
+
+``split_fused``/``split_optimizer`` return *views* along the array
+dimension for contiguous keep sets; these tests pin the two properties
+the elastic runtime's correctness rests on:
+
+* the view implementation is **bit-identical** to the copy
+  implementation (``copy=True`` / ``copy_state=True``) across the whole
+  re-fusion op-family matrix of ``test_refusion.py``;
+* aliasing is confined to the documented contract — a detached child and
+  its narrowed parent occupy *disjoint* slices, so mutating one never
+  corrupts the other, and a merge always materializes fresh memory.
+
+The vectorized per-model loss kernels ride along here: they replaced a
+per-model graph-building loop on the hot path and must match the
+reference loop bitwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro import hfta
+from repro.hfta.fusion import contiguous_run
+from repro.hfta.losses import (FusedBCELoss, FusedCrossEntropyLoss,
+                               FusedMSELoss, FusedNLLLoss)
+from repro.hfta.optim import split_optimizer
+from repro.nn.tensor import Tensor
+
+from .test_refusion import (B, FAMILIES, assert_arrays_equal, build_family,
+                            fake_step, make_optimizer, randomize)
+
+CONTIGUOUS_KEEPS = ([0, 1], [1, 2, 3], [2], [0, 1, 2, 3])
+FANCY_KEEPS = ([0, 2], [3, 1], [0, 3])
+
+
+# --------------------------------------------------------------------- #
+class TestViewEqualsCopy:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("keep", CONTIGUOUS_KEEPS + FANCY_KEEPS,
+                             ids=str)
+    def test_split_matches_copy_implementation(self, family, keep):
+        fused = randomize(build_family(family))
+        fast = hfta.split_fused(fused, keep)
+        slow = hfta.split_fused(fused, keep, copy=True)
+        assert_arrays_equal(fast, slow, f"{family} keep={keep}")
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_contiguous_split_returns_views(self, family):
+        fused = randomize(build_family(family))
+        sub = hfta.split_fused(fused, [1, 2])
+        for (name, p_sub), (_, p_full) in zip(sub.named_parameters(),
+                                              fused.named_parameters()):
+            assert np.shares_memory(p_sub.data, p_full.data), name
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_noncontiguous_split_owns_memory(self, family):
+        fused = randomize(build_family(family))
+        sub = hfta.split_fused(fused, [0, 2])
+        for (name, p_sub), (_, p_full) in zip(sub.named_parameters(),
+                                              fused.named_parameters()):
+            assert not np.shares_memory(p_sub.data, p_full.data), name
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_merge_of_views_materializes_fresh_memory(self, family):
+        fused = randomize(build_family(family))
+        left, right = hfta.split_fused(fused, [0, 1]), \
+            hfta.split_fused(fused, [2, 3])
+        merged = hfta.merge_fused(left, right)
+        assert_arrays_equal(fused, merged, family)
+        for (name, p_m), (_, p_f) in zip(merged.named_parameters(),
+                                         fused.named_parameters()):
+            assert not np.shares_memory(p_m.data, p_f.data), name
+
+    @pytest.mark.parametrize("kind", ("adam", "adamw", "sgd", "adadelta"))
+    def test_optimizer_split_matches_copy_implementation(self, kind):
+        fused = randomize(build_family("linear"))
+        opt = make_optimizer(kind, fused, B, [1e-3 * (b + 1)
+                                              for b in range(B)])
+        fake_step(fused, opt)
+        sub = hfta.split_fused(fused, [1, 2])
+        fast = split_optimizer(opt, sub.parameters(), [1, 2])
+        slow = split_optimizer(opt, sub.parameters(), [1, 2],
+                               copy_state=True)
+        for p in sub.parameters():
+            st_fast = fast.state.get(id(p)) or {}
+            st_slow = slow.state.get(id(p)) or {}
+            assert set(st_fast) == set(st_slow)
+            for key, value in st_fast.items():
+                np.testing.assert_array_equal(value, st_slow[key],
+                                              err_msg=f"{kind} {key}")
+
+    def test_contiguous_run_detection(self):
+        assert contiguous_run([1, 2, 3]) == (1, 4)
+        assert contiguous_run([0]) == (0, 1)
+        assert contiguous_run([0, 2]) is None
+        assert contiguous_run([2, 1]) is None
+        assert contiguous_run([]) is None
+
+
+# --------------------------------------------------------------------- #
+class TestAliasingContract:
+    """Mutation through one side of a partition never reaches the other."""
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_mutating_detached_view_never_corrupts_survivors(self, family):
+        fused = randomize(build_family(family))
+        baseline = hfta.split_fused(fused, [2, 3], copy=True)
+        detached = hfta.split_fused(fused, [0, 1])   # views
+        survivors = hfta.split_fused(fused, [2, 3])  # disjoint views
+
+        for p in detached.parameters():
+            p.data[...] = -123.0                     # clobber the child
+        for _, buf in detached.named_buffers():
+            if buf is not None and np.issubdtype(buf.dtype, np.floating):
+                buf[...] = -321.0
+
+        assert_arrays_equal(survivors, baseline,
+                            f"{family} survivors after child mutation")
+
+    def test_optimizer_partition_steps_disjointly(self):
+        """In-place optimizer steps on both halves of a partition land in
+        disjoint slices: each half's state stays serial-equivalent."""
+        fused = randomize(build_family("linear"))
+        opt = make_optimizer("adam", fused, B, [1e-3] * B)
+        fake_step(fused, opt)
+
+        left, right = hfta.split_fused(fused, [0, 1]), \
+            hfta.split_fused(fused, [2, 3])
+        opt_left = split_optimizer(opt, left.parameters(), [0, 1])
+        opt_right = split_optimizer(opt, right.parameters(), [2, 3])
+        # the copy-based control: same state, provably unaliased
+        ctl_left = hfta.split_fused(fused, [0, 1], copy=True)
+        ctl_right = hfta.split_fused(fused, [2, 3], copy=True)
+        ctl_opt_left = split_optimizer(opt, ctl_left.parameters(), [0, 1],
+                                       copy_state=True)
+        ctl_opt_right = split_optimizer(opt, ctl_right.parameters(), [2, 3],
+                                        copy_state=True)
+
+        rng = np.random.default_rng(21)
+        grads = [rng.standard_normal(p.shape).astype(np.float32)
+                 for p in fused.parameters()]
+        for model, optimizer, half in ((left, opt_left, slice(0, 2)),
+                                       (right, opt_right, slice(2, 4)),
+                                       (ctl_left, ctl_opt_left, slice(0, 2)),
+                                       (ctl_right, ctl_opt_right,
+                                        slice(2, 4))):
+            for p, g in zip(model.parameters(), grads):
+                p.grad = g[half].copy()
+            optimizer.step()
+            optimizer.step()
+
+        assert_arrays_equal(left, ctl_left, "left half after steps")
+        assert_arrays_equal(right, ctl_right, "right half after steps")
+
+    def test_snapshot_owns_its_memory(self):
+        fused = randomize(build_family("linear"))
+        snap = hfta.snapshot_array(fused)
+        for p in fused.parameters():
+            p.data[...] = 7.0
+        for name, value in snap.items():
+            assert not np.all(value == 7.0), name
+
+
+# --------------------------------------------------------------------- #
+class TestVectorizedPerModelLosses:
+    """per_model (vectorized) must equal per_model_reference bitwise."""
+
+    @pytest.mark.parametrize("reduction", ("mean", "sum"))
+    def test_cross_entropy(self, reduction):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.standard_normal((B, 9, 5)).astype(np.float32))
+        tgt = rng.integers(0, 5, size=(B, 9))
+        crit = FusedCrossEntropyLoss(B, reduction)
+        np.testing.assert_array_equal(
+            crit.per_model(logits, tgt),
+            crit.per_model_reference(logits, tgt))
+
+    @pytest.mark.parametrize("reduction", ("mean", "sum"))
+    def test_cross_entropy_extra_dims(self, reduction):
+        rng = np.random.default_rng(1)
+        logits = Tensor(rng.standard_normal((B, 3, 4, 6)).astype(np.float32))
+        tgt = rng.integers(0, 6, size=(B, 3, 4))
+        crit = FusedCrossEntropyLoss(B, reduction)
+        np.testing.assert_array_equal(
+            crit.per_model(logits, tgt),
+            crit.per_model_reference(logits, tgt))
+
+    @pytest.mark.parametrize("reduction", ("mean", "sum"))
+    def test_nll(self, reduction):
+        rng = np.random.default_rng(2)
+        lp = Tensor(np.log(rng.random((B, 9, 5)).astype(np.float32) + 1e-3))
+        tgt = rng.integers(0, 5, size=(B, 9))
+        crit = FusedNLLLoss(B, reduction)
+        np.testing.assert_array_equal(
+            crit.per_model(lp, tgt),
+            crit.per_model_reference(lp, tgt))
+
+    @pytest.mark.parametrize("reduction", ("mean", "sum"))
+    def test_mse(self, reduction):
+        rng = np.random.default_rng(3)
+        pred = Tensor(rng.standard_normal((B, 9, 3)).astype(np.float32))
+        tgt = rng.standard_normal((B, 9, 3)).astype(np.float32)
+        crit = FusedMSELoss(B, reduction)
+        np.testing.assert_array_equal(
+            crit.per_model(pred, tgt),
+            crit.per_model_reference(pred, tgt))
+
+    @pytest.mark.parametrize("reduction", ("mean", "sum"))
+    def test_bce(self, reduction):
+        rng = np.random.default_rng(4)
+        prob = Tensor(rng.random((B, 9)).astype(np.float32))
+        tgt = rng.integers(0, 2, size=(B, 9)).astype(np.float32)
+        crit = FusedBCELoss(B, reduction)
+        np.testing.assert_array_equal(
+            crit.per_model(prob, tgt),
+            crit.per_model_reference(prob, tgt))
+
+    def test_tensor_target_accepted(self):
+        rng = np.random.default_rng(5)
+        logits = Tensor(rng.standard_normal((B, 9, 5)).astype(np.float32))
+        tgt = Tensor(rng.integers(0, 5, size=(B, 9)).astype(np.float32))
+        crit = FusedCrossEntropyLoss(B)
+        np.testing.assert_array_equal(
+            crit.per_model(logits, tgt),
+            crit.per_model_reference(logits, tgt))

@@ -20,7 +20,12 @@ Two artifact families, two comparison strategies:
   virtual-time scale harness: 100k simulated jobs over a 1k-device
   fleet) gates its bit-reproducible metrics — oracle speedup, completed
   jobs, scheduler decisions must not drop, and the SLO-miss rate must
-  not grow from its 0.0 baseline.
+  not grow from its 0.0 baseline.  **BENCH_hotpath.json** (the hot-path
+  microbenchmark) gates its deterministic counters (pool hit rate,
+  checkpoint write amplification) the same way, its same-machine timing
+  ratios (optimized-vs-legacy step speedup, view-eviction scaling) at a
+  widened jitter allowance, and holds the width-32 step speedup above an
+  absolute 2x acceptance floor.
 
 * **BENCH_runtime.json** is wall-clock timings, and CI runners are not
   the machine the baseline was recorded on.  Raw means are therefore
@@ -57,7 +62,8 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
 ARTIFACTS = ("BENCH_runtime.json", "BENCH_elastic.json",
-             "BENCH_checkpoint.json", "BENCH_scale.json")
+             "BENCH_checkpoint.json", "BENCH_scale.json",
+             "BENCH_hotpath.json")
 
 #: BENCH_elastic.json metrics under gate; all are higher-is-better and
 #: machine-independent (ratios of deterministic slot-step counters)
@@ -86,6 +92,23 @@ CHECKPOINT_METRICS_LOWER = ("bytes_per_checkpoint",)
 SCALE_METRICS_HIGHER = ("oracle_speedup", "jobs_completed",
                         "scheduler_decisions")
 SCALE_METRICS_LOWER = ("slo_miss_rate",)
+
+#: BENCH_hotpath.json metrics under gate.  ``pool_hit_rate`` and
+#: ``checkpoint_write_amplification`` are deterministic counters (exact
+#: across machines) gated at the standard threshold.  The two timing
+#: *ratios* — optimized-vs-legacy step speedup and the view-eviction
+#: scaling — are same-machine ratios, so the machine cancels out but
+#: run-to-run jitter does not; they get a widened allowance
+#: (``HOTPATH_RATIO_THRESHOLD`` floor) on top of which the step speedup
+#: must also clear the PR's absolute >=2x acceptance floor
+#: (``HOTPATH_SPEEDUP_FLOOR``): the hot-path rewrite bought a >2x
+#: width-32 step throughput over the legacy path, and the gate holds it.
+HOTPATH_METRICS_HIGHER = ("step_speedup_w32", "pool_hit_rate",
+                          "checkpoint_write_amplification")
+HOTPATH_METRICS_LOWER = ("evict_scaling_w32_over_w8",)
+HOTPATH_RATIO_METRICS = ("step_speedup_w32", "evict_scaling_w32_over_w8")
+HOTPATH_RATIO_THRESHOLD = 0.30
+HOTPATH_SPEEDUP_FLOOR = 2.0
 
 
 def load(path: Path) -> dict:
@@ -210,6 +233,29 @@ def compare_scale(fresh: dict, baseline: dict, threshold: float,
                            lower=SCALE_METRICS_LOWER)
 
 
+def compare_hotpath(fresh: dict, baseline: dict, threshold: float,
+                    failures: list) -> list:
+    """Gate the hot-path artifact: counters tight, timing ratios wide,
+    and the step speedup against its absolute >=2x acceptance floor."""
+    counters = tuple(m for m in HOTPATH_METRICS_HIGHER
+                     if m not in HOTPATH_RATIO_METRICS)
+    rows = compare_metrics("BENCH_hotpath.json", fresh, baseline,
+                           threshold, failures, higher=counters)
+    rows += compare_metrics(
+        "BENCH_hotpath.json", fresh, baseline,
+        max(threshold, HOTPATH_RATIO_THRESHOLD), failures,
+        higher=tuple(m for m in HOTPATH_METRICS_HIGHER
+                     if m in HOTPATH_RATIO_METRICS),
+        lower=HOTPATH_METRICS_LOWER)
+    speedup = float(fresh.get("step_speedup_w32", 0.0))
+    if speedup < HOTPATH_SPEEDUP_FLOOR:
+        failures.append(
+            f"BENCH_hotpath.json metric 'step_speedup_w32': {speedup:.3f} "
+            f"below the absolute {HOTPATH_SPEEDUP_FLOOR:.1f}x acceptance "
+            f"floor (width-32 optimized vs legacy hot path)")
+    return rows
+
+
 def print_rows(title: str, rows: list, headers: tuple) -> None:
     if not rows:
         return
@@ -294,6 +340,9 @@ def main(argv=None) -> int:
     scale_rows = compare_scale(load(args.fresh_dir / ARTIFACTS[3]),
                                load(args.baseline_dir / ARTIFACTS[3]),
                                args.threshold, failures)
+    hotpath_rows = compare_hotpath(load(args.fresh_dir / ARTIFACTS[4]),
+                                   load(args.baseline_dir / ARTIFACTS[4]),
+                                   args.threshold, failures)
 
     print_rows("BENCH_runtime.json (normalized by median machine scale)",
                runtime_rows,
@@ -306,6 +355,8 @@ def main(argv=None) -> int:
                ("metric", "baseline", "fresh", "ratio", "verdict"))
     print_rows("BENCH_scale.json (machine-independent)", scale_rows,
                ("metric", "baseline", "fresh", "ratio", "verdict"))
+    print_rows("BENCH_hotpath.json (ratios + counters)", hotpath_rows,
+               ("metric", "baseline", "fresh", "ratio", "verdict"))
 
     if failures:
         print(f"\nbench-gate: {len(failures)} regression(s) beyond "
@@ -316,7 +367,8 @@ def main(argv=None) -> int:
     print(f"\nbench-gate: all benchmarks within {args.threshold:.0%} of "
           f"the committed baselines "
           f"({len(runtime_rows)} timed, {len(elastic_rows)} elastic, "
-          f"{len(checkpoint_rows)} durability, {len(scale_rows)} scale).")
+          f"{len(checkpoint_rows)} durability, {len(scale_rows)} scale, "
+          f"{len(hotpath_rows)} hotpath).")
     return 0
 
 
