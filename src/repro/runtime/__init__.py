@@ -26,6 +26,12 @@ of a shared accelerator:
   fleet's devices per array with the :mod:`repro.hwsim` cost model
   (:func:`repro.hwsim.estimate_array_cost`), partial-fusion fallback when
   a cohort exceeds the chosen device's memory cap;
+* :mod:`repro.runtime.placement_lp` — global placement as an assignment
+  LP: the whole cycle solved at once with ``scipy.optimize.linprog``
+  (deterministic greedy rounding as the always-on fallback and floor),
+  objective mixing projected completion, SLO urgency, migration cost and
+  fused-width efficiency, plus budget-bounded live-array migration
+  (``FleetScheduler(placement="lp")``);
 * :mod:`repro.runtime.fleet`   — the multi-device scheduler: per-device
   worker threads over a shared queue, work stealing for idle devices (on
   whole plans *and* on freed width — paused straggler executors),
@@ -79,8 +85,8 @@ Fleet scale::
 
 See ``docs/architecture.md`` for the full data-flow diagram and the map
 of the documentation tree (``docs/runtime.md``, ``docs/elasticity.md``,
-``docs/gateway.md``, ``docs/checkpointing.md``, ``docs/simulation.md``,
-``docs/operations.md``, ``docs/api.md``), and
+``docs/gateway.md``, ``docs/placement.md``, ``docs/checkpointing.md``,
+``docs/simulation.md``, ``docs/operations.md``, ``docs/api.md``), and
 ``examples/runtime_serving.py`` /
 ``examples/fleet_serving.py`` / ``examples/crash_recovery.py`` for
 end-to-end serving sessions.
@@ -95,7 +101,9 @@ from .engine import (ArrayExecutor, ArrayState, JobResult, StopReason,
                      TrainingArrayEngine)
 from .metrics import ArrayRecord, RuntimeMetrics
 from .placement import (DEFAULT_FLEET, DefragPolicy, FleetPlacer,
-                        PlacementDecision, synthetic_fleet)
+                        PlacementDecision, PlacementPolicy, synthetic_fleet)
+from .placement_lp import (LPFleetPlacer, LPWeights, PlacementInstance,
+                           PlacementSolution, lp_available, solve_instance)
 from .checkpoint import (CheckpointStore, RecoveryManager, SlotCheckpoint,
                          WriteReceipt)
 from .fleet import DeviceWorker, FleetScheduler
@@ -113,7 +121,9 @@ __all__ = [
     "TrainingArrayEngine",
     "ArrayRecord", "RuntimeMetrics",
     "DEFAULT_FLEET", "DefragPolicy", "FleetPlacer", "PlacementDecision",
-    "synthetic_fleet",
+    "PlacementPolicy", "synthetic_fleet",
+    "LPFleetPlacer", "LPWeights", "PlacementInstance", "PlacementSolution",
+    "lp_available", "solve_instance",
     "CheckpointStore", "RecoveryManager", "SlotCheckpoint", "WriteReceipt",
     "DeviceWorker", "FleetScheduler",
     "AdmissionTicket", "ServingGateway", "ShedReason", "TenantSpec",

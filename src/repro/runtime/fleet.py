@@ -53,6 +53,7 @@ from .engine import ArrayExecutor, JobResult, TrainingArrayEngine
 from .metrics import RuntimeMetrics
 from .placement import (DEFAULT_FLEET, DefragPolicy, FleetPlacer,
                         PlacementDecision)
+from .placement_lp import LPFleetPlacer
 from .queue import JobQueue, JobState, TrainingJob
 from .sim import SimulatedCrash, VirtualClock
 
@@ -131,14 +132,39 @@ class FleetScheduler:
                  recovery: Optional[RecoveryManager] = None,
                  quarantine_cycles: int = 1,
                  execution: str = "real",
-                 clock: Optional[VirtualClock] = None):
+                 clock: Optional[VirtualClock] = None,
+                 placement: str = "greedy",
+                 migration_budget: int = 4,
+                 resolve_every: int = 1):
         # `is not None`, not `or`: an empty JobQueue is falsy (__len__ == 0)
         self.queue = queue if queue is not None else JobQueue()
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
         self.batcher = batcher if batcher is not None else Batcher()
-        self.placer = placer if placer is not None else FleetPlacer(
-            devices=tuple(devices), max_width=max_width, precision=precision,
-            default_workload=default_workload)
+        if placement not in ("greedy", "lp"):
+            raise ValueError(f"placement must be 'greedy' or 'lp', "
+                             f"got {placement!r}")
+        if placer is not None:
+            self.placer = placer
+        elif placement == "lp":
+            self.placer = LPFleetPlacer(
+                devices=tuple(devices), max_width=max_width,
+                precision=precision, default_workload=default_workload)
+        else:
+            self.placer = FleetPlacer(
+                devices=tuple(devices), max_width=max_width,
+                precision=precision, default_workload=default_workload)
+        if migration_budget < 0:
+            raise ValueError("migration_budget must be >= 0")
+        if resolve_every < 1:
+            raise ValueError("resolve_every must be >= 1")
+        #: live-array migration bound per re-solve window, and the re-solve
+        #: cadence in scheduling cycles: cycles between re-solves pass
+        #: ``begin_cycle(0)``, freezing voluntary migration (forced moves —
+        #: a home device that can no longer hold its array — stay legal)
+        self.migration_budget = migration_budget
+        self.resolve_every = resolve_every
+        self._cycle_index = 0
+        self._last_solution_seen = None
         self.work_stealing = work_stealing
         self.elastic = elastic
         self.defrag = defrag if elastic else None
@@ -273,6 +299,15 @@ class FleetScheduler:
             if self.recovery is not None:
                 self.recovery.journal_state(sub.job_id, JobState.FAILED)
 
+        # optimizer protocol: open the re-solve window before placing.
+        # Off-cadence cycles pass budget 0 — the solver still places new
+        # cohorts (that costs no migration), but voluntary live-array
+        # moves are frozen until the next re-solve cycle
+        self._cycle_index += 1
+        if hasattr(self.placer, "begin_cycle"):
+            on_cadence = (self._cycle_index - 1) % self.resolve_every == 0
+            self.placer.begin_cycle(
+                self.migration_budget if on_cadence else 0)
         # only pass `now` with a policy installed and a placer that takes
         # it: without a policy there is no gateway clock, and a custom
         # placer with the legacy signature keeps working behind a gateway
@@ -280,6 +315,7 @@ class FleetScheduler:
         decisions = (self.placer.place(cohorts, now=policy.now())
                      if policy is not None and self._placer_accepts_now
                      else self.placer.place(cohorts))
+        self._record_solve()
         with self._dispatch_lock:
             quarantined = set(self._quarantined)
         for decision in decisions:
@@ -313,6 +349,26 @@ class FleetScheduler:
                 results[result.job_id] = result
         self.metrics.record_wall(time.perf_counter() - start)
         return results
+
+    def _record_solve(self) -> None:
+        """Drain the optimizer's latest solve into the metrics ledger.
+
+        Solver wall latency is recorded but never charged to virtual
+        time; in sim mode the clock advances by the solution's
+        *deterministic* ``virtual_cost_s`` instead, so same-seed sim runs
+        stay bit-identical regardless of how fast scipy ran today.
+        """
+        solution = getattr(self.placer, "last_solution", None)
+        if solution is None or solution is self._last_solution_seen:
+            return
+        self._last_solution_seen = solution
+        self.metrics.record_lp_solve(
+            solution.solver, solution.objective, solution.makespan,
+            solution.solve_seconds)
+        self.metrics.record_decision(
+            "solve", (solution.solver, len(solution.assignment)))
+        if self.execution == "sim" and solution.virtual_cost_s > 0:
+            self.clock.advance(solution.virtual_cost_s)
 
     # ------------------------------------------------------------------ #
     # the worker pool
@@ -616,6 +672,9 @@ class FleetScheduler:
             executor, device_cap=device_cap,
             key=self.admission.rank if self.admission is not None else None)
         self._preempt_for_deadlines(worker, executor, device_cap)
+        migrated = self._maybe_migrate(worker, executor)
+        if migrated is not None:
+            return migrated
         if self.defrag is None:
             return None
 
@@ -715,6 +774,61 @@ class FleetScheduler:
                 straggler.paused = False
                 return straggler
         return None
+
+    def _device_loads(self) -> Dict[str, float]:
+        """Projected busy seconds per device: the virtual timeline already
+        spent (sim mode) plus the projections of every queued plan — the
+        load picture the optimizer's migration diff runs against."""
+        loads: Dict[str, float] = {}
+        with self._dispatch_lock:
+            for name, worker in self.workers.items():
+                busy = (worker.engine.sim_time
+                        if self.execution == "sim" else 0.0)
+                busy += sum(item.projected_seconds
+                            for item in worker.plans
+                            if isinstance(item, PlacementDecision))
+                loads[name] = busy
+        return loads
+
+    def _maybe_migrate(self, worker: DeviceWorker,
+                       executor: ArrayExecutor) -> Optional[str]:
+        """Execute the optimizer's bounded migration diff for one array.
+
+        Policies exposing ``migration_target`` (the optimizer protocol,
+        :class:`~repro.runtime.placement_lp.LPFleetPlacer`) are asked at
+        every epoch boundary whether this live array belongs elsewhere
+        under the global solution; the answer is budget-bounded per
+        re-solve window (``begin_cycle``).  A move rides the same
+        detach-and-requeue rails as defrag re-placement: the executor's
+        training state transfers wholesale, so the migrated jobs stay
+        serial-equivalent, and with a :class:`RecoveryManager` attached
+        the move is journaled so a crash mid-migration re-queues the
+        in-flight cohort exactly once.
+        """
+        target_fn = getattr(self.placer, "migration_target", None)
+        if target_fn is None or executor.done or executor.live_width < 1:
+            return None
+        target = target_fn(executor, worker.name, self._device_loads())
+        if target is None or target == worker.name:
+            return None
+        with self._dispatch_lock:
+            # same liveness rule as _replace: never strand the array in a
+            # queue nobody reads anymore, never feed a quarantined device
+            if target not in self._live_workers \
+                    or target in self._quarantined:
+                return None
+            executor.device_name = target
+            self.workers[target].plans.append(executor)
+        self.metrics.record_migration()
+        self.metrics.record_decision(
+            "migrate", (executor.array_id, worker.name, target))
+        if self.recovery is not None:
+            live = [slot.sub.job_id for slot in executor.slots
+                    if slot.sub.state in (JobState.SCHEDULED,
+                                          JobState.RUNNING)]
+            self.recovery.journal_array(
+                "migrate", executor.array_id, target, live)
+        return "detach"
 
     def _replace(self, worker: DeviceWorker,
                  executor: ArrayExecutor) -> Optional[str]:

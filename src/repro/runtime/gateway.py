@@ -586,3 +586,14 @@ class ServingGateway:
     def report(self) -> Tuple[List[Tuple], Tuple[str, ...]]:
         """Per-tenant admission/SLO/consumption rows (printable table)."""
         return self.metrics.tenant_report()
+
+    def placement_report(self) -> Dict[str, float]:
+        """The placement optimizer's operator surface: the active policy
+        name plus the solver aggregates — solves run, fallback share,
+        summed solver latency, migrations emitted, and the latest
+        objective/makespan ledger entry.  All zeros under the greedy
+        baseline (it never solves), so dashboards can scrape this
+        unconditionally; see ``docs/placement.md``."""
+        summary: Dict[str, float] = dict(self.metrics.placement_summary())
+        summary["policy"] = getattr(self.placer, "policy_name", "custom")
+        return summary

@@ -128,6 +128,19 @@ class RuntimeMetrics:
         #: exact decision sequences of both backends
         self.scheduler_decisions = 0
         self.decision_log: Optional[List[Tuple[str, Tuple]]] = None
+        #: placement-optimizer counters (repro.runtime.placement_lp): LP
+        #: solves run, how many fell back to the standalone greedy rounder
+        #: (scipy absent, instance over the variable cap, or the rounded
+        #: relaxation losing to greedy under the shared objective), summed
+        #: solver wall latency, live-array migrations actually emitted, and
+        #: the makespan ledger — one (solver, objective, projected
+        #: makespan) entry per solve, the before/after trail an operator
+        #: reads to see what the optimizer is buying
+        self.lp_solves = 0
+        self.lp_fallback_solves = 0
+        self.lp_solver_seconds = 0.0
+        self.migrations_emitted = 0
+        self.makespan_ledger: List[Tuple[str, float, float]] = []
 
     # ------------------------------------------------------------------ #
     # recording
@@ -216,6 +229,43 @@ class RuntimeMetrics:
             return log
         wanted = set(kinds)
         return [entry for entry in log if entry[0] in wanted]
+
+    # ------------------------------------------------------------------ #
+    # placement optimization (repro.runtime.placement_lp)
+    # ------------------------------------------------------------------ #
+    def record_lp_solve(self, solver: str, objective: float,
+                        makespan: float, seconds: float) -> None:
+        """One global placement solve: the winning path (``"lp+round"``
+        or ``"greedy"``), its objective value and projected makespan, and
+        the solver's wall latency (never charged to virtual time)."""
+        with self._lock:
+            self.lp_solves += 1
+            if solver != "lp+round":
+                self.lp_fallback_solves += 1
+            self.lp_solver_seconds += seconds
+            self.makespan_ledger.append((solver, objective, makespan))
+
+    def record_migration(self) -> None:
+        """A live array migrated to the device the optimizer chose (a
+        bounded, budget-charged move — distinct from defrag replacement)."""
+        with self._lock:
+            self.migrations_emitted += 1
+
+    def placement_summary(self) -> Dict[str, float]:
+        """Placement-optimizer aggregates: solve counts, fallback share,
+        summed solver latency, migrations emitted, and the latest ledger
+        entry's objective/makespan (0.0 before any solve)."""
+        with self._lock:
+            last = self.makespan_ledger[-1] if self.makespan_ledger \
+                else ("", 0.0, 0.0)
+            return {
+                "lp_solves": self.lp_solves,
+                "lp_fallback_solves": self.lp_fallback_solves,
+                "lp_solver_seconds": self.lp_solver_seconds,
+                "migrations_emitted": self.migrations_emitted,
+                "last_objective": last[1],
+                "last_makespan": last[2],
+            }
 
     # ------------------------------------------------------------------ #
     # durability (checkpointing and crash recovery)
@@ -543,6 +593,10 @@ class RuntimeMetrics:
             "wall_seconds": self.wall_seconds,
             "plans_stolen": self.plans_stolen,
             "scheduler_decisions": self.scheduler_decisions,
+            "lp_solves": self.lp_solves,
+            "lp_fallback_solves": self.lp_fallback_solves,
+            "lp_solver_seconds": self.lp_solver_seconds,
+            "migrations_emitted": self.migrations_emitted,
             "checkpoints_written": self.checkpoints_written,
             "checkpoint_payload_bytes": self.checkpoint_payload_bytes,
             "checkpoint_bytes_written": self.checkpoint_bytes_written,

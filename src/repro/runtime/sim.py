@@ -41,6 +41,13 @@ scheduler (no threads), synthetic losses are pure functions of the step
 index, and every queue/placement tie-break is already deterministic.  The
 real-vs-sim equivalence test pins this down: both backends emit identical
 scheduling decision sequences for the same trace.
+
+The placement optimizer (:mod:`repro.runtime.placement_lp`) obeys the
+same rule: its wall-clock solver latency is *recorded* in the metrics but
+never charged to virtual time — a simulated fleet charges each solve as
+the policy's deterministic ``solver_virtual_cost_s`` instead (the fleet
+advances the clock by it after every solve), so the same seed yields the
+same timeline whether scipy solved in two milliseconds or twenty.
 """
 
 from __future__ import annotations

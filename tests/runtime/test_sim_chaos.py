@@ -26,8 +26,8 @@ import pytest
 from repro.cluster import ServingTraceConfig, TenantLoad, \
     generate_serving_trace
 from repro.runtime import CheckpointStore, FleetScheduler, JobState, \
-    RecoveryManager, ServingGateway, TenantSpec, TraceReplayer, \
-    synthetic_fleet
+    LPFleetPlacer, LPWeights, RecoveryManager, ServingGateway, TenantSpec, \
+    TraceReplayer, synthetic_fleet
 
 from .conftest import make_sim_job
 
@@ -117,6 +117,95 @@ class TestChaosRecovery:
 
 def fleet_device_names():
     return [device.name for device in synthetic_fleet(3)]
+
+
+class TestChaosMidMigration:
+    """Device death *mid-migration* (the LP optimizer's moving parts).
+
+    The LP policy migrates live arrays between devices at epoch
+    boundaries; a device that dies while hosting a freshly migrated
+    array is the nastiest interleaving the WAL has to get right — the
+    array's provenance spans two devices, and the recovery sweep must
+    re-queue its in-flight cohort exactly once so the next solve can
+    re-place it without double-assignment.
+    """
+
+    MJOBS = 10
+    MSTEPS = 40
+
+    def run_lp_fleet(self, tmp_path, subdir, kill_migrated=False):
+        """An LP-placement sim run that provably migrates; optionally
+        kill the migration *target* while it steps the migrated array."""
+        store = CheckpointStore(tmp_path / subdir)
+        recovery = RecoveryManager(store)
+        # zero hysteresis: any marginal improvement migrates, so this
+        # small trace reliably exercises the mover
+        placer = LPFleetPlacer(devices=synthetic_fleet(3), max_width=4,
+                               weights=LPWeights(migration=0.0))
+        fleet = FleetScheduler(placer=placer, execution="sim",
+                               migration_budget=8, store=store,
+                               checkpoint_every=1, recovery=recovery)
+        fleet.metrics.enable_decision_log()
+        if kill_migrated:
+            fired = []
+
+            def chaos(device_name, executor):
+                if fired:
+                    return False
+                for _, payload in fleet.metrics.decisions("migrate"):
+                    array_id, _, target = payload
+                    if device_name == target \
+                            and executor.array_id == array_id:
+                        fired.append((device_name, array_id))
+                        return True
+                return False
+
+            fleet.chaos = chaos
+        fleet.submit_all([make_sim_job(i, steps=self.MSTEPS,
+                                       epoch_steps=2)
+                          for i in range(self.MJOBS)])
+        results = fleet.run_until_idle()
+        return fleet, results, recovery
+
+    def test_migration_target_dies_while_stepping_migrated_array(
+            self, tmp_path):
+        reference, expected, _ = self.run_lp_fleet(tmp_path, "reference")
+        assert reference.metrics.migrations_emitted > 0
+        assert reference.metrics.workers_crashed == 0
+
+        fleet, results, recovery = self.run_lp_fleet(
+            tmp_path, "chaos", kill_migrated=True)
+
+        # the victim really was a migration target running the moved
+        # array (the chaos hook only fires on that exact interleaving)
+        assert fleet.metrics.migrations_emitted > 0
+        assert fleet.metrics.workers_crashed == 1
+        migrated_ids = {payload[0] for _, payload
+                        in fleet.metrics.decisions("migrate")}
+        crash_events = [r for r in recovery.entries()
+                        if r["type"] == "array" and r["event"] == "crash"]
+        assert len(crash_events) == 1
+        assert crash_events[0]["array_id"] in migrated_ids
+
+        # the WAL carries the move itself: provenance spans both devices
+        migrate_events = [r for r in recovery.entries()
+                          if r["type"] == "array"
+                          and r["event"] == "migrate"]
+        assert migrate_events, "migration was never journaled"
+
+        # exactly-once: the in-flight migrated cohort was re-queued once,
+        # re-placed by a later solve, and nothing completed twice
+        assert len(results) == self.MJOBS
+        assert fleet.metrics.jobs_completed == self.MJOBS
+        for job_id in results:
+            assert fleet.queue.state(job_id) == JobState.COMPLETED
+        assert fleet.metrics.jobs_recovered > 0
+        assert fleet.metrics.lp_solves >= 2, \
+            "recovery never reached a re-solve"
+        assert recovery.unsettled() == {}
+
+        # recovery changed *where* jobs ran, never *what* they computed
+        assert curves(results) == curves(expected)
 
 
 class TestChaosUnderServingLoad:

@@ -25,7 +25,11 @@ Two artifact families, two comparison strategies:
   checkpoint write amplification) the same way, its same-machine timing
   ratios (optimized-vs-legacy step speedup, view-eviction scaling) at a
   widened jitter allowance, and holds the width-32 step speedup above an
-  absolute 2x acceptance floor.
+  absolute 2x acceptance floor.  **BENCH_placement.json** (the greedy-vs-
+  LP placement benchmark) gates its virtual-time numbers the same way —
+  completed jobs and solve counts must not drop, the LP policy's SLO-miss
+  rate must not grow from 0.0 — and holds the headline
+  ``placement_improvement`` above an absolute 10% acceptance floor.
 
 * **BENCH_runtime.json** is wall-clock timings, and CI runners are not
   the machine the baseline was recorded on.  Raw means are therefore
@@ -63,7 +67,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
 ARTIFACTS = ("BENCH_runtime.json", "BENCH_elastic.json",
              "BENCH_checkpoint.json", "BENCH_scale.json",
-             "BENCH_hotpath.json")
+             "BENCH_hotpath.json", "BENCH_placement.json")
 
 #: BENCH_elastic.json metrics under gate; all are higher-is-better and
 #: machine-independent (ratios of deterministic slot-step counters)
@@ -109,6 +113,24 @@ HOTPATH_METRICS_LOWER = ("evict_scaling_w32_over_w8",)
 HOTPATH_RATIO_METRICS = ("step_speedup_w32", "evict_scaling_w32_over_w8")
 HOTPATH_RATIO_THRESHOLD = 0.30
 HOTPATH_SPEEDUP_FLOOR = 2.0
+
+#: BENCH_placement.json metrics under gate — the greedy-vs-LP placement
+#: benchmark's virtual-time numbers, bit-reproducible across machines.
+#: ``placement_improvement`` / ``makespan_improvement`` (the LP policy's
+#: relative win over greedy) are gated against their baselines at a
+#: widened allowance (solver-version drift can nudge the LP vertex and
+#: therefore the rounded assignment), on top of which the headline
+#: ``placement_improvement`` must clear the PR's absolute >=10%
+#: acceptance floor: the optimizer has to *beat* greedy on makespan or
+#: SLO-miss rate, not merely match it.  ``jobs_completed`` and
+#: ``lp_solves`` must not drop; ``lp_slo_miss_rate`` must not grow from
+#: its 0.0 baseline (one missed deadline under the LP policy fails the
+#: gate).  Solver wall milliseconds are reported but not gated.
+PLACEMENT_METRICS_HIGHER = ("jobs_completed", "lp_solves")
+PLACEMENT_METRICS_LOWER = ("lp_slo_miss_rate",)
+PLACEMENT_RATIO_METRICS = ("placement_improvement", "makespan_improvement")
+PLACEMENT_RATIO_THRESHOLD = 0.30
+PLACEMENT_IMPROVEMENT_FLOOR = 0.10
 
 
 def load(path: Path) -> dict:
@@ -256,6 +278,29 @@ def compare_hotpath(fresh: dict, baseline: dict, threshold: float,
     return rows
 
 
+def compare_placement(fresh: dict, baseline: dict, threshold: float,
+                      failures: list) -> list:
+    """Gate the placement artifact: counters tight, improvement ratios
+    wide, and the headline improvement against its absolute >=10%
+    acceptance floor."""
+    rows = compare_metrics("BENCH_placement.json", fresh, baseline,
+                           threshold, failures,
+                           higher=PLACEMENT_METRICS_HIGHER,
+                           lower=PLACEMENT_METRICS_LOWER)
+    rows += compare_metrics(
+        "BENCH_placement.json", fresh, baseline,
+        max(threshold, PLACEMENT_RATIO_THRESHOLD), failures,
+        higher=PLACEMENT_RATIO_METRICS)
+    improvement = float(fresh.get("placement_improvement", 0.0))
+    if improvement < PLACEMENT_IMPROVEMENT_FLOOR:
+        failures.append(
+            f"BENCH_placement.json metric 'placement_improvement': "
+            f"{improvement:.3f} below the absolute "
+            f"{PLACEMENT_IMPROVEMENT_FLOOR:.0%} acceptance floor "
+            f"(LP policy vs greedy on makespan-or-SLO)")
+    return rows
+
+
 def print_rows(title: str, rows: list, headers: tuple) -> None:
     if not rows:
         return
@@ -343,6 +388,9 @@ def main(argv=None) -> int:
     hotpath_rows = compare_hotpath(load(args.fresh_dir / ARTIFACTS[4]),
                                    load(args.baseline_dir / ARTIFACTS[4]),
                                    args.threshold, failures)
+    placement_rows = compare_placement(load(args.fresh_dir / ARTIFACTS[5]),
+                                       load(args.baseline_dir / ARTIFACTS[5]),
+                                       args.threshold, failures)
 
     print_rows("BENCH_runtime.json (normalized by median machine scale)",
                runtime_rows,
@@ -357,6 +405,9 @@ def main(argv=None) -> int:
                ("metric", "baseline", "fresh", "ratio", "verdict"))
     print_rows("BENCH_hotpath.json (ratios + counters)", hotpath_rows,
                ("metric", "baseline", "fresh", "ratio", "verdict"))
+    print_rows("BENCH_placement.json (greedy vs LP, machine-independent)",
+               placement_rows,
+               ("metric", "baseline", "fresh", "ratio", "verdict"))
 
     if failures:
         print(f"\nbench-gate: {len(failures)} regression(s) beyond "
@@ -368,7 +419,7 @@ def main(argv=None) -> int:
           f"the committed baselines "
           f"({len(runtime_rows)} timed, {len(elastic_rows)} elastic, "
           f"{len(checkpoint_rows)} durability, {len(scale_rows)} scale, "
-          f"{len(hotpath_rows)} hotpath).")
+          f"{len(hotpath_rows)} hotpath, {len(placement_rows)} placement).")
     return 0
 
 
